@@ -1,0 +1,222 @@
+package agora
+
+// One benchmark per table and figure of the paper's evaluation (§6): each
+// measures the representative workload behind that result at a scale that
+// runs in milliseconds, so `go test -bench=.` sweeps the whole evaluation
+// surface. The full row/series regeneration lives in cmd/bench (see
+// EXPERIMENTS.md); these benchmarks track the cost of the underlying
+// machinery over time.
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/ldpc"
+	"repro/internal/modulation"
+)
+
+// benchFrame runs nFrames through a fresh engine; reused by most benches.
+func benchFrame(b *testing.B, cfg Config, opts Options) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := RunUplink(cfg, opts, Rayleigh, 25, 1, false, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Drops > 0 {
+			b.Fatalf("dropped packets: %d", sum.Drops)
+		}
+	}
+}
+
+// BenchmarkTable1_BlockTasks exercises every uplink block end to end on
+// the small cell used for Table 1's per-task cost columns.
+func BenchmarkTable1_BlockTasks(b *testing.B) {
+	benchFrame(b, laptopCfg(), Options{Workers: 2})
+}
+
+// BenchmarkFig6_FrameLatency measures one simulated 1 ms 64×16 uplink
+// frame under the data-parallel policy with the paper's 26 workers.
+func BenchmarkFig6_FrameLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(SimConfig{UplinkSymbols: 13, Workers: 26, Frames: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6_PipelineVariant is the pipeline-parallel counterpart.
+func BenchmarkFig6_PipelineVariant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(SimConfig{UplinkSymbols: 13, Workers: 26, Frames: 8,
+			Mode: PipelineParallel}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7_MIMO16x4 measures the real-engine frame processing that
+// Figure 7's CCDFs are built from.
+func BenchmarkFig7_MIMO16x4(b *testing.B) {
+	cfg := laptopCfg()
+	cfg.Antennas, cfg.Users = 16, 4
+	benchFrame(b, cfg, Options{Workers: 2})
+}
+
+// BenchmarkFig8_WorkerSweep runs the single-frame scaling simulation
+// behind Figure 8 (1 and 26 workers bound the sweep).
+func BenchmarkFig8_WorkerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range []int{1, 26} {
+			if _, err := Simulate(SimConfig{UplinkSymbols: 13, Workers: w, Frames: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9_ZCPilotFrame processes one over-the-air-style frame:
+// time-orthogonal Zadoff–Chu pilots, LOS channel, 64-QAM rate-1/3.
+func BenchmarkFig9_ZCPilotFrame(b *testing.B) {
+	cfg := Config{
+		Antennas:        16,
+		Users:           4,
+		OFDMSize:        512,
+		DataSubcarriers: 300,
+		Order:           modulation.QAM64,
+		Rate:            ldpc.Rate13,
+		DecodeIter:      5,
+		Pilots:          TimeOrthogonal,
+		Symbols:         UplinkSchedule(4, 2),
+		ZFGroupSize:     15,
+		DemodBlockSize:  64,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := RunUplink(cfg, Options{Workers: 2}, LOS, 22, 1, false, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sum
+	}
+}
+
+// BenchmarkTable3_PerTaskCosts is the workload Table 3's per-task numbers
+// come from (per-task timing enabled, stats merged at the end).
+func BenchmarkTable3_PerTaskCosts(b *testing.B) {
+	cfg := laptopCfg()
+	cfg.Antennas, cfg.Users = 16, 4
+	cfg.Symbols = UplinkSchedule(1, 6)
+	benchFrame(b, cfg, Options{Workers: 2})
+}
+
+// BenchmarkFig10_DataMovement runs the dummy-kernel variant that isolates
+// inter-core data movement (§6.2.2 methodology).
+func BenchmarkFig10_DataMovement(b *testing.B) {
+	benchFrame(b, laptopCfg(), Options{Workers: 2, DummyKernels: true})
+}
+
+// BenchmarkFig11_SyncSweep measures the antenna sweep behind Figure 11.
+func BenchmarkFig11_SyncSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []int{16, 64} {
+			if _, err := Simulate(SimConfig{M: m, UplinkSymbols: 13, Workers: 26, Frames: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig12_LDPCDecode measures one rate-1/3 Z=104 decode, the unit
+// of Figure 12's processing-time series (paper: 46.5 µs with AVX-512).
+func BenchmarkFig12_LDPCDecode(b *testing.B) {
+	code := ldpc.MustNew(ldpc.Rate13, 104)
+	dec := ldpc.NewDecoder(code)
+	info := make([]byte, code.K())
+	cw := make([]byte, code.N())
+	code.Encode(cw, info)
+	llr := make([]float32, code.N())
+	for i, bit := range cw {
+		if bit == 0 {
+			llr[i] = 4
+		} else {
+			llr[i] = -4
+		}
+	}
+	out := make([]byte, code.K())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := dec.Decode(out, llr, 5); !r.OK {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+// BenchmarkFig12_LDPCEncode is the encoding counterpart.
+func BenchmarkFig12_LDPCEncode(b *testing.B) {
+	code := ldpc.MustNew(ldpc.Rate13, 104)
+	info := make([]byte, code.K())
+	cw := make([]byte, code.N())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		code.Encode(cw, info)
+	}
+}
+
+// BenchmarkFig13_Milestones measures the paired policy comparison behind
+// Figure 13's block spans and milestones.
+func BenchmarkFig13_Milestones(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []Mode{DataParallel, PipelineParallel} {
+			if _, err := Simulate(SimConfig{UplinkSymbols: 13, Workers: 26,
+				Frames: 4, Mode: mode}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4_AllOptimizationsOn and ..._Off bound the ablation table:
+// the gap between them is the combined effect of every §3.4/§4 technique.
+func BenchmarkTable4_AllOptimizationsOn(b *testing.B) {
+	benchFrame(b, laptopCfg(), Options{Workers: 2})
+}
+
+// BenchmarkTable4_AllOptimizationsOff disables everything Table 4 ablates.
+func BenchmarkTable4_AllOptimizationsOff(b *testing.B) {
+	benchFrame(b, laptopCfg(), Options{Workers: 2,
+		DisableBatching: true, DisableMemOpt: true, DisableDirectStore: true,
+		DisableInverseOpt: true, DisableJITGemm: true, DisableSIMDConvert: true})
+}
+
+// BenchmarkTable5_ServerProfiles runs the cost-scaled profile comparison.
+func BenchmarkTable5_ServerProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cost := PaperCostModel()
+		cost.DecodeUS *= 1.55 // AVX2-class profile
+		if _, err := Simulate(SimConfig{UplinkSymbols: 13, Workers: 32,
+			Frames: 4, Cost: cost}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGenerator isolates the software RRU's TX chain
+// (the paper's §5.2 IQ sample generator).
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	cfg := laptopCfg()
+	gen, err := NewGenerator(cfg, channel.Rayleigh, 25, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := func([]byte) error { return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gen.EmitFrame(uint32(i), sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

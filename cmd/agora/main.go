@@ -1,0 +1,109 @@
+// Agora is the baseband server: it receives IQ packets from an RRU (real
+// or the cmd/rru emulator) over UDP, runs the full uplink pipeline and
+// reports per-frame latency and decode status — the deployment shape of
+// paper Figure 3 with the standard library's UDP stack standing in for
+// DPDK.
+//
+//	go run ./cmd/agora -listen :9000 &
+//	go run ./cmd/rru   -agora 127.0.0.1:9000 -frames 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"repro"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":9000", "UDP listen address for fronthaul traffic")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines")
+		scale   = flag.String("scale", "small", "cell preset: small (16x4) or paper (64x16)")
+		cfgPath = flag.String("config", "", "JSON cell configuration file (overrides -scale)")
+		rt      = flag.Bool("realtime", false, "lock workers to OS threads, relax GC")
+	)
+	flag.Parse()
+
+	cfg := presetConfig(*scale)
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = agora.LoadConfig(*cfgPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := agora.NewUDP(*listen, "", agora.PacketSizeFor(&cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := agora.New(cfg, agora.Options{Workers: *workers, RealTime: *rt}, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agora: %s\n", cfg.String())
+	fmt.Printf("agora: listening on %s with %d workers\n", *listen, *workers)
+	eng.Start()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	lat := stats.NewReservoir(4096)
+	frames, ok, total := 0, 0, 0
+	for {
+		select {
+		case r := <-eng.Results():
+			frames++
+			if !r.Dropped {
+				lat.Add(r.Latency)
+				ok += r.BlocksOK
+				total += r.BlocksTotal
+			}
+			if frames%50 == 0 {
+				fmt.Printf("agora: %d frames, latency %s, blocks %d/%d, drops %d\n",
+					frames, lat.Summary(), ok, total, eng.Drops())
+			}
+		case <-sig:
+			eng.Stop()
+			fmt.Printf("\nagora: processed %d frames\n", frames)
+			fmt.Printf("agora: latency %s\n", lat.Summary())
+			fmt.Printf("agora: blocks decoded %d/%d, packet drops %d\n", ok, total, eng.Drops())
+			fmt.Println("agora: per-task costs:")
+			for _, t := range []agora.TaskType{agora.TaskPilotFFT, agora.TaskZF,
+				agora.TaskFFT, agora.TaskDemod, agora.TaskDecode} {
+				s := eng.TaskStats()[t]
+				if s.Count == 0 {
+					continue
+				}
+				fmt.Printf("  %-9s %6d tasks %8.2f µs/task\n", t, s.Count, s.MeanUS)
+			}
+			return
+		case <-time.After(30 * time.Second):
+			fmt.Println("agora: idle (waiting for fronthaul traffic)...")
+		}
+	}
+}
+
+func presetConfig(scale string) agora.Config {
+	switch scale {
+	case "paper":
+		return agora.Default64x16()
+	default:
+		cfg := agora.Default64x16()
+		cfg.Antennas = 16
+		cfg.Users = 4
+		cfg.OFDMSize = 512
+		cfg.DataSubcarriers = 304
+		cfg.LiftingZ = 0
+		cfg.Symbols = agora.UplinkSchedule(1, 6)
+		return cfg
+	}
+}

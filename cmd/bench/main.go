@@ -1,0 +1,56 @@
+// Bench regenerates the paper's evaluation tables and figures.
+//
+//	go run ./cmd/bench -exp fig6          # one experiment
+//	go run ./cmd/bench -exp all           # the whole evaluation section
+//	go run ./cmd/bench -exp table3 -full  # full-size (64x16) run
+//
+// Each experiment prints the rows/series of the corresponding paper table
+// or figure plus the paper's numbers for comparison. Quick mode (default)
+// scales problem sizes so the suite finishes in minutes on a small host;
+// -full runs the paper-size configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id ("+strings.Join(experiments.Names(), ", ")+") or 'all'")
+		full    = flag.Bool("full", false, "run paper-size configurations (slow on small hosts)")
+		frames  = flag.Int("frames", 0, "override frames/blocks per measurement point")
+		workers = flag.Int("workers", 0, "override real-engine worker count")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: bench -exp <id>|all [-full] [-frames N] [-workers N]")
+		fmt.Fprintln(os.Stderr, "experiments:", strings.Join(experiments.Names(), ", "))
+		os.Exit(2)
+	}
+	o := experiments.Opt{Quick: !*full, Frames: *frames, Workers: *workers, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.Names()
+	}
+	for _, id := range ids {
+		f, ok := experiments.All[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s ====\n", id)
+		start := time.Now()
+		if err := f(os.Stdout, o); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,95 @@
+// RRU is the software IQ sample generator of paper §5.2 as a standalone
+// process: it synthesizes uplink frames (bits → LDPC → QAM → channel →
+// IFFT → 12-bit IQ) and streams them over UDP to a cmd/agora server with
+// precise frame pacing.
+//
+//	go run ./cmd/agora -listen :9000 &
+//	go run ./cmd/rru   -agora 127.0.0.1:9000 -frames 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		dst     = flag.String("agora", "127.0.0.1:9000", "Agora server address")
+		local   = flag.String("local", ":0", "local UDP bind address")
+		frames  = flag.Int("frames", 100, "frames to send (0 = forever)")
+		snr     = flag.Float64("snr", 25, "emulated channel SNR (dB)")
+		scale   = flag.String("scale", "small", "cell preset: small (16x4) or paper (64x16)")
+		cfgPath = flag.String("config", "", "JSON cell configuration file (overrides -scale)")
+		pace    = flag.Bool("pace", true, "pace frames at the configured frame rate")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := presetConfig(*scale)
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = agora.LoadConfig(*cfgPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := agora.NewUDP(*local, *dst, agora.PacketSizeFor(&cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	gen, err := agora.NewGenerator(cfg, agora.Rayleigh, *snr, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rru: %s\n", cfg.String())
+	fmt.Printf("rru: streaming to %s (pace=%v, SNR=%.1f dB)\n", *dst, *pace, *snr)
+
+	frameDur := cfg.FrameDuration()
+	start := time.Now()
+	next := start
+	sent := 0
+	for f := 0; *frames == 0 || f < *frames; f++ {
+		if err := gen.EmitFrame(uint32(f), func(pkt []byte) error {
+			sent++
+			return tr.Send(pkt)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if *pace {
+			next = next.Add(frameDur)
+			for time.Until(next) > 0 {
+				runtime.Gosched() // spin-wait for µs-precision pacing
+			}
+		}
+		if (f+1)%50 == 0 {
+			el := time.Since(start)
+			fmt.Printf("rru: %d frames, %d packets, %.2f Gb/s fronthaul\n",
+				f+1, sent, float64(sent)*float64(agora.PacketSizeFor(&cfg))*8/el.Seconds()/1e9)
+		}
+	}
+	fmt.Printf("rru: done, %d packets in %v\n", sent, time.Since(start).Round(time.Millisecond))
+}
+
+func presetConfig(scale string) agora.Config {
+	switch scale {
+	case "paper":
+		return agora.Default64x16()
+	default:
+		cfg := agora.Default64x16()
+		cfg.Antennas = 16
+		cfg.Users = 4
+		cfg.OFDMSize = 512
+		cfg.DataSubcarriers = 304
+		cfg.LiftingZ = 0
+		cfg.Symbols = agora.UplinkSchedule(1, 6)
+		return cfg
+	}
+}

@@ -1,0 +1,189 @@
+// Package cf provides complex-float utilities shared across the baseband:
+// 24-bit fronthaul IQ packing, int16 <-> float32 sample conversion, and
+// small helpers over []complex64 used by the signal-processing blocks.
+//
+// The paper converts 24-bit IQ samples from the RRU into 32-bit values with
+// AVX-512; Go has no intrinsics, so the hot conversion paths here are
+// written branch-free over contiguous slices with 64-bit word packing,
+// which the compiler vectorizes reasonably well. The naive byte-at-a-time
+// variants are kept for the Table 4 "SIMD conversion" ablation.
+package cf
+
+import (
+	"fmt"
+	"math"
+)
+
+// BytesPerIQ is the wire size of one 24-bit IQ sample: 12-bit I and 12-bit Q
+// packed into three bytes, little-endian within the 24-bit word.
+const BytesPerIQ = 3
+
+// sign-extend a 12-bit value held in the low bits of x.
+func sext12(x uint32) int32 {
+	return int32(x<<20) >> 20
+}
+
+// PackIQ12 packs int16 I/Q pairs (each clamped to the signed 12-bit range)
+// into the 3-byte wire format. len(dst) must be >= len(iq)/2*3 and len(iq)
+// must be even (interleaved I,Q).
+func PackIQ12(dst []byte, iq []int16) {
+	if len(iq)%2 != 0 {
+		panic("cf: PackIQ12 needs interleaved I,Q pairs")
+	}
+	n := len(iq) / 2
+	if len(dst) < n*BytesPerIQ {
+		panic(fmt.Sprintf("cf: PackIQ12 dst too small: %d < %d", len(dst), n*BytesPerIQ))
+	}
+	for s := 0; s < n; s++ {
+		i := clamp12(iq[2*s])
+		q := clamp12(iq[2*s+1])
+		w := uint32(i)&0xFFF | (uint32(q)&0xFFF)<<12
+		o := s * BytesPerIQ
+		dst[o] = byte(w)
+		dst[o+1] = byte(w >> 8)
+		dst[o+2] = byte(w >> 16)
+	}
+}
+
+func clamp12(v int16) int16 {
+	if v > 2047 {
+		return 2047
+	}
+	if v < -2048 {
+		return -2048
+	}
+	return v
+}
+
+// UnpackIQ12 expands the 3-byte wire format into complex64 samples scaled
+// to [-1, 1). It is the hot RX-path conversion: one 24-bit word is loaded
+// per sample and split without branches.
+func UnpackIQ12(dst []complex64, src []byte) {
+	n := len(src) / BytesPerIQ
+	if len(dst) < n {
+		panic(fmt.Sprintf("cf: UnpackIQ12 dst too small: %d < %d", len(dst), n))
+	}
+	const scale = 1.0 / 2048.0
+	for s := 0; s < n; s++ {
+		o := s * BytesPerIQ
+		w := uint32(src[o]) | uint32(src[o+1])<<8 | uint32(src[o+2])<<16
+		i := sext12(w & 0xFFF)
+		q := sext12(w >> 12)
+		dst[s] = complex(float32(i)*scale, float32(q)*scale)
+	}
+}
+
+// UnpackIQ12Naive is the deliberately unoptimized conversion used by the
+// Table 4 ablation: per-component byte assembly with float64 math.
+func UnpackIQ12Naive(dst []complex64, src []byte) {
+	n := len(src) / BytesPerIQ
+	for s := 0; s < n; s++ {
+		o := s * BytesPerIQ
+		var w uint32
+		for b := 0; b < 3; b++ { // byte-at-a-time
+			w |= uint32(src[o+b]) << (8 * b)
+		}
+		i := float64(sext12(w&0xFFF)) / 2048.0
+		q := float64(sext12(w>>12)) / 2048.0
+		dst[s] = complex(float32(i), float32(q))
+	}
+}
+
+// Quantize12 converts float32-domain complex samples (nominally in [-1,1))
+// into interleaved int16 I/Q with 12-bit clipping, the TX-side inverse of
+// UnpackIQ12.
+func Quantize12(dst []int16, src []complex64) {
+	if len(dst) < 2*len(src) {
+		panic("cf: Quantize12 dst too small")
+	}
+	for s, v := range src {
+		dst[2*s] = clamp12(int16(math.RoundToEven(float64(real(v)) * 2048)))
+		dst[2*s+1] = clamp12(int16(math.RoundToEven(float64(imag(v)) * 2048)))
+	}
+}
+
+// Scale multiplies every element of x by a in place.
+func Scale(x []complex64, a float32) {
+	for i := range x {
+		x[i] = complex(real(x[i])*a, imag(x[i])*a)
+	}
+}
+
+// AXPY computes y += a*x element-wise. Slices must have equal length.
+func AXPY(y []complex64, a complex64, x []complex64) {
+	if len(y) != len(x) {
+		panic("cf: AXPY length mismatch")
+	}
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+// Dot returns the unconjugated dot product sum(x[i]*y[i]).
+func Dot(x, y []complex64) complex64 {
+	if len(x) != len(y) {
+		panic("cf: Dot length mismatch")
+	}
+	var accR, accI float32
+	for i := range x {
+		v := x[i] * y[i]
+		accR += real(v)
+		accI += imag(v)
+	}
+	return complex(accR, accI)
+}
+
+// DotConj returns the Hermitian inner product sum(conj(x[i])*y[i]).
+func DotConj(x, y []complex64) complex64 {
+	if len(x) != len(y) {
+		panic("cf: DotConj length mismatch")
+	}
+	var accR, accI float32
+	for i := range x {
+		xr, xi := real(x[i]), imag(x[i])
+		yr, yi := real(y[i]), imag(y[i])
+		accR += xr*yr + xi*yi
+		accI += xr*yi - xi*yr
+	}
+	return complex(accR, accI)
+}
+
+// Energy returns sum(|x[i]|^2) in float64 for accumulation accuracy.
+func Energy(x []complex64) float64 {
+	var e float64
+	for _, v := range x {
+		e += float64(real(v))*float64(real(v)) + float64(imag(v))*float64(imag(v))
+	}
+	return e
+}
+
+// MaxAbsDiff returns the largest |x[i]-y[i]|, a convergence/accuracy metric
+// used heavily in tests.
+func MaxAbsDiff(x, y []complex64) float64 {
+	if len(x) != len(y) {
+		panic("cf: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range x {
+		d := x[i] - y[i]
+		a := math.Hypot(float64(real(d)), float64(imag(d)))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Conj conjugates x in place.
+func Conj(x []complex64) {
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []complex64, v complex64) {
+	for i := range x {
+		x[i] = v
+	}
+}

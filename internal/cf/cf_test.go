@@ -1,0 +1,163 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	iq := make([]int16, 2*1200)
+	for i := range iq {
+		iq[i] = int16(rng.Intn(4096) - 2048)
+	}
+	wire := make([]byte, len(iq)/2*BytesPerIQ)
+	PackIQ12(wire, iq)
+	out := make([]complex64, len(iq)/2)
+	UnpackIQ12(out, wire)
+	for s := 0; s < len(out); s++ {
+		wantI := float32(iq[2*s]) / 2048
+		wantQ := float32(iq[2*s+1]) / 2048
+		if real(out[s]) != wantI || imag(out[s]) != wantQ {
+			t.Fatalf("sample %d: got %v want (%v,%v)", s, out[s], wantI, wantQ)
+		}
+	}
+}
+
+func TestUnpackNaiveMatchesOptimized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	wire := make([]byte, 3*777)
+	rng.Read(wire)
+	a := make([]complex64, 777)
+	b := make([]complex64, 777)
+	UnpackIQ12(a, wire)
+	UnpackIQ12Naive(b, wire)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d: optimized %v naive %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]complex64, 512)
+	for i := range src {
+		src[i] = complex(rng.Float32()*2-1, rng.Float32()*2-1)
+	}
+	iq := make([]int16, 2*len(src))
+	Quantize12(iq, src)
+	wire := make([]byte, len(src)*BytesPerIQ)
+	PackIQ12(wire, iq)
+	back := make([]complex64, len(src))
+	UnpackIQ12(back, wire)
+	// 12-bit quantization: error bounded by one LSB = 1/2048 per component.
+	for i := range src {
+		if d := MaxAbsDiff(src[i:i+1], back[i:i+1]); d > 1.5/2048 {
+			t.Fatalf("sample %d: quantization error %v too large (%v vs %v)", i, d, src[i], back[i])
+		}
+	}
+}
+
+func TestQuantizeClips(t *testing.T) {
+	src := []complex64{complex(10, -10)}
+	iq := make([]int16, 2)
+	Quantize12(iq, src)
+	if iq[0] != 2047 || iq[1] != -2048 {
+		t.Fatalf("clipping failed: %v", iq)
+	}
+}
+
+func TestSext12(t *testing.T) {
+	cases := map[uint32]int32{0: 0, 1: 1, 0x7FF: 2047, 0x800: -2048, 0xFFF: -1}
+	for in, want := range cases {
+		if got := sext12(in); got != want {
+			t.Errorf("sext12(%#x) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestDotConjHermitian(t *testing.T) {
+	// <x,x> must be real, nonnegative, and equal Energy(x).
+	f := func(re, im []float32) bool {
+		n := len(re)
+		if len(im) < n {
+			n = len(im)
+		}
+		if n == 0 {
+			return true
+		}
+		x := make([]complex64, n)
+		for i := 0; i < n; i++ {
+			x[i] = complex(clampf(re[i]), clampf(im[i]))
+		}
+		d := DotConj(x, x)
+		e := Energy(x)
+		return math.Abs(float64(imag(d))) < 1e-3 &&
+			math.Abs(float64(real(d))-e) < 1e-2*(1+e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampf(v float32) float32 {
+	if v != v || v > 1e3 {
+		return 1
+	}
+	if v < -1e3 {
+		return -1
+	}
+	return v
+}
+
+func TestAXPYAndScale(t *testing.T) {
+	y := []complex64{1, 2, 3}
+	x := []complex64{1, 1, 1}
+	AXPY(y, 2i, x)
+	want := []complex64{1 + 2i, 2 + 2i, 3 + 2i}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY: got %v want %v", y, want)
+		}
+	}
+	Scale(y, 2)
+	if y[0] != 2+4i {
+		t.Fatalf("Scale: got %v", y[0])
+	}
+}
+
+func TestConjFillMax(t *testing.T) {
+	x := []complex64{1 + 2i, -3 - 4i}
+	Conj(x)
+	if x[0] != 1-2i || x[1] != -3+4i {
+		t.Fatalf("Conj: %v", x)
+	}
+	Fill(x, 5)
+	if x[0] != 5 || x[1] != 5 {
+		t.Fatalf("Fill: %v", x)
+	}
+	if MaxAbsDiff(x, x) != 0 {
+		t.Fatal("MaxAbsDiff self nonzero")
+	}
+}
+
+func BenchmarkUnpackIQ12(b *testing.B) {
+	wire := make([]byte, 3*2048)
+	dst := make([]complex64, 2048)
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		UnpackIQ12(dst, wire)
+	}
+}
+
+func BenchmarkUnpackIQ12Naive(b *testing.B) {
+	wire := make([]byte, 3*2048)
+	dst := make([]complex64, 2048)
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		UnpackIQ12Naive(dst, wire)
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"repro/internal/cf"
+	"repro/internal/channel"
+	"repro/internal/fft"
+	"repro/internal/frame"
+	"repro/internal/ldpc"
+	"repro/internal/mat"
+	"repro/internal/modulation"
+	"repro/internal/queue"
+	"repro/internal/stats"
+)
+
+// worker holds one worker's private scratch so task execution allocates
+// nothing. Workers are created by the engine; each runs runWorker.
+type worker struct {
+	id  int
+	eng *Engine
+
+	plan    *fft.Plan
+	timeBuf []complex64
+	freqBuf []complex64
+	stage   []complex64 // staging copy when DisableDirectStore
+	yvec    []complex64 // gathered antenna vector (M)
+	xvec    []complex64 // equalized user vector (K)
+	symLLR  []float32   // per-subcarrier LLR scratch
+	bitsBuf []byte      // per-subcarrier modulation bits scratch
+
+	dec    *ldpc.Decoder
+	zfws   *mat.ZFWorkspace
+	matvec mat.MatVecKernel
+	gemm   mat.GemmKernel
+	unpack func([]complex64, []byte)
+	tab    *modulation.Table
+	code   *ldpc.Code
+
+	pilotFreq [][]complex64 // conj of each user's pilot over the data band
+
+	perTask [queue.NumTaskTypes]stats.Acc
+}
+
+func newWorker(id int, e *Engine) *worker {
+	cfg := &e.cfg
+	w := &worker{
+		id:      id,
+		eng:     e,
+		plan:    e.plan,
+		timeBuf: make([]complex64, cfg.SamplesPerSymbol()),
+		freqBuf: make([]complex64, cfg.OFDMSize),
+		stage:   make([]complex64, cfg.DataSubcarriers*cfg.Antennas),
+		yvec:    make([]complex64, cfg.Antennas),
+		xvec:    make([]complex64, cfg.Users),
+		symLLR:  make([]float32, int(cfg.Order)),
+		bitsBuf: make([]byte, int(cfg.Order)),
+		zfws:    mat.NewZFWorkspace(cfg.Users),
+		matvec:  mat.PlanMatVec(!e.opts.DisableJITGemm),
+		gemm:    mat.PlanGemm(!e.opts.DisableJITGemm),
+		tab:     modulation.Get(cfg.Order),
+		code:    e.code,
+	}
+	w.dec = ldpc.NewDecoder(e.code)
+	w.dec.Alg = ldpc.NormalizedMinSum
+	if e.opts.DisableSIMDConvert {
+		w.unpack = cf.UnpackIQ12Naive
+	} else {
+		w.unpack = cf.UnpackIQ12
+	}
+	// Precompute conjugated pilots for CSI extraction.
+	w.pilotFreq = make([][]complex64, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		var p []complex64
+		if cfg.Pilots == frame.FreqOrthogonal {
+			p = channel.FrequencyOrthogonalPilot(cfg.DataSubcarriers, cfg.Users, u)
+		} else {
+			p = channel.ZadoffChu(cfg.DataSubcarriers, 1)
+		}
+		cf.Conj(p)
+		w.pilotFreq[u] = p
+	}
+	return w
+}
+
+// fftIntoDataBand unpacks a received payload, strips the cyclic prefix,
+// runs the FFT and leaves the data band in w.freqBuf[dataStart:…].
+func (w *worker) fftIntoDataBand(payload []byte) {
+	cfg := &w.eng.cfg
+	w.unpack(w.timeBuf[:cfg.SamplesPerSymbol()], payload)
+	if cfg.CPLen > 0 {
+		copy(w.timeBuf, w.timeBuf[cfg.CPLen:cfg.SamplesPerSymbol()])
+	}
+	copy(w.freqBuf, w.timeBuf[:cfg.OFDMSize])
+	if !w.eng.opts.DummyKernels {
+		w.plan.Forward(w.freqBuf)
+	}
+}
+
+// runPilotFFT is the fused FFT + channel-estimation block (Table 2): one
+// task covers one antenna of one pilot symbol. Antenna a writes row a of
+// every ZF group's CSI matrix — disjoint from all other tasks.
+func (w *worker) runPilotFFT(slot int, sym, ant uint16, pilotIdx int) {
+	cfg := &w.eng.cfg
+	b := w.eng.buf
+	w.fftIntoDataBand(b.rxRaw[slot][sym][ant])
+	band := w.freqBuf[cfg.DataStart() : cfg.DataStart()+cfg.DataSubcarriers]
+	groups := cfg.ZFGroups()
+	switch cfg.Pilots {
+	case frame.FreqOrthogonal:
+		// User u's pilot occupies subcarriers sc%K == u; within each
+		// group average u's measurements (one per group when K ==
+		// ZFGroupSize, the paper's configuration).
+		for g := 0; g < groups; g++ {
+			lo, hi := b.groupBounds(g)
+			row := b.csi[slot][g].Row(int(ant))
+			for u := 0; u < cfg.Users; u++ {
+				var acc complex64
+				n := 0
+				for sc := lo + ((u-lo)%cfg.Users+cfg.Users)%cfg.Users; sc < hi; sc += cfg.Users {
+					acc += band[sc] * w.pilotFreq[u][sc] // pilot is 1 -> conj(1)
+					n++
+				}
+				if n > 0 {
+					row[u] = acc * complex(1/float32(n), 0)
+				}
+			}
+		}
+	case frame.TimeOrthogonal:
+		// Pilot symbol pilotIdx belongs to user pilotIdx: full-band ZC.
+		u := pilotIdx
+		for g := 0; g < groups; g++ {
+			lo, hi := b.groupBounds(g)
+			var acc complex64
+			for sc := lo; sc < hi; sc++ {
+				acc += band[sc] * w.pilotFreq[u][sc]
+			}
+			b.csi[slot][g].Row(int(ant))[u] = acc * complex(1/float32(hi-lo), 0)
+		}
+	}
+}
+
+// runZF computes the zero-forcing equalizer (and downlink precoder when
+// the schedule has downlink symbols) for one subcarrier group.
+func (w *worker) runZF(slot int, g int) {
+	e := w.eng
+	b := e.buf
+	h := b.csi[slot][g]
+	if e.opts.DummyKernels {
+		// Memory behaviour only: read H, write W.
+		copy(b.eq[slot][g].Data, h.Data[:len(b.eq[slot][g].Data)])
+		return
+	}
+	switch {
+	case e.opts.UseMRC:
+		mat.ConjugateEqualizerInto(b.eq[slot][g], h)
+	case e.opts.DisableInverseOpt:
+		mat.PinvSVDInto(b.eq[slot][g], h, 1e-9)
+	default:
+		if err := mat.ZFEqualizerInto(b.eq[slot][g], h, w.zfws); err != nil {
+			// Singular channel estimate: fall back to conjugate
+			// beamforming (§4.2 suggests MRC when ill-conditioned).
+			mat.ConjugateEqualizerInto(b.eq[slot][g], h)
+		}
+	}
+	if e.hasDownlink {
+		if err := mat.ZFPrecoderInto(b.pre[slot][g], h, w.zfws); err != nil {
+			b.pre[slot][g].Zero()
+		}
+	}
+}
+
+// runFFT transforms one antenna of one uplink data symbol and stores the
+// data band in the layout selected by the memory-access option.
+func (w *worker) runFFT(slot int, sym, ant uint16) {
+	e := w.eng
+	cfg := &e.cfg
+	b := e.buf
+	w.fftIntoDataBand(b.rxRaw[slot][sym][ant])
+	band := w.freqBuf[cfg.DataStart() : cfg.DataStart()+cfg.DataSubcarriers]
+	q := cfg.DataSubcarriers
+	m := cfg.Antennas
+	if e.opts.DisableMemOpt {
+		// Antenna-major: contiguous write here, strided gather in demod.
+		dst := b.dataFreqAnt[slot][sym][int(ant)*q : (int(ant)+1)*q]
+		if e.opts.DisableDirectStore {
+			copy(w.stage[:q], band)
+			copy(dst, w.stage[:q])
+		} else {
+			copy(dst, band)
+		}
+		return
+	}
+	// Subcarrier-major: strided transposed write here (the analogue of
+	// the paper's non-temporal transposed stores), contiguous read in
+	// demod where the data is consumed many times.
+	dst := b.dataFreqSC[slot][sym]
+	a := int(ant)
+	if e.opts.DisableDirectStore {
+		copy(w.stage[:q], band)
+		band = w.stage[:q]
+	}
+	for sc := 0; sc < q; sc++ {
+		dst[sc*m+a] = band[sc]
+	}
+}
+
+// runDemod is the fused equalization + soft demodulation block: one task
+// covers DemodBlockSize consecutive subcarriers of one uplink symbol and
+// writes every user's LLRs for those subcarriers.
+func (w *worker) runDemod(slot int, sym uint16, block int) {
+	e := w.eng
+	cfg := &e.cfg
+	b := e.buf
+	q := cfg.DataSubcarriers
+	m := cfg.Antennas
+	k := cfg.Users
+	lo := block * cfg.DemodBlockSize
+	hi := lo + cfg.DemodBlockSize
+	if hi > q {
+		hi = q
+	}
+	order := int(cfg.Order)
+	scUsed := e.scUsed
+	const nominalNoise = 0.1 // normalized min-sum is scale invariant
+	for sc := lo; sc < hi; sc++ {
+		if sc >= scUsed {
+			break // padding region carries no code bits
+		}
+		// Gather received vector y across antennas.
+		if e.opts.DisableMemOpt {
+			src := b.dataFreqAnt[slot][sym]
+			for a := 0; a < m; a++ {
+				w.yvec[a] = src[a*q+sc]
+			}
+		} else {
+			copy(w.yvec, b.dataFreqSC[slot][sym][sc*m:(sc+1)*m])
+		}
+		g := sc / cfg.ZFGroupSize
+		if e.opts.DummyKernels {
+			for u := 0; u < k; u++ {
+				off := sc * order
+				for t := 0; t < order; t++ {
+					b.llr[slot][sym][u][off+t] = real(w.yvec[u%m])
+				}
+			}
+			continue
+		}
+		w.matvec(w.xvec, b.eq[slot][g], w.yvec)
+		for u := 0; u < k; u++ {
+			w.tab.DemodulateSoft(w.symLLR, w.xvec[u:u+1], nominalNoise)
+			copy(b.llr[slot][sym][u][sc*order:(sc+1)*order], w.symLLR)
+		}
+	}
+}
+
+// runDecode decodes one user's code block for one uplink symbol.
+func (w *worker) runDecode(slot int, sym uint16, user int) {
+	e := w.eng
+	b := e.buf
+	if e.opts.DummyKernels {
+		llr := b.llr[slot][sym][user]
+		var s float32
+		for _, v := range llr {
+			s += v
+		}
+		out := b.decoded[slot][sym][user]
+		for i := range out {
+			out[i] = byte(int(s) & 1)
+		}
+		b.decodeOK[slot][sym][user] = true
+		return
+	}
+	res := w.dec.Decode(b.decoded[slot][sym][user],
+		b.llr[slot][sym][user][:e.code.N()], e.cfg.DecodeIter)
+	b.decodeOK[slot][sym][user] = res.OK
+}
+
+// runEncode encodes one user's downlink code block.
+func (w *worker) runEncode(slot int, sym uint16, user int) {
+	b := w.eng.buf
+	if w.eng.opts.DummyKernels {
+		copy(b.encoded[slot][sym][user], b.macBits[slot][sym][user])
+		return
+	}
+	w.code.Encode(b.encoded[slot][sym][user], b.macBits[slot][sym][user])
+}
+
+// runPrecode is the fused modulation + precoding block: one task covers
+// one subcarrier group of one downlink symbol. preSlot selects which
+// frame's precoder to apply: normally the frame's own slot, but with the
+// §3.4.2 stale-precoder optimization it is the previous frame's slot.
+func (w *worker) runPrecode(slot int, sym uint16, g int, preSlot int) {
+	e := w.eng
+	cfg := &e.cfg
+	b := e.buf
+	lo, hi := b.groupBounds(g)
+	m := cfg.Antennas
+	k := cfg.Users
+	order := int(cfg.Order)
+	n := e.code.N()
+	dst := b.dlFreq[slot][sym]
+	for sc := lo; sc < hi; sc++ {
+		// Modulate each user's bits for this subcarrier.
+		for u := 0; u < k; u++ {
+			off := sc * order
+			for t := 0; t < order; t++ {
+				if off+t < n {
+					w.bitsBuf[t] = b.encoded[slot][sym][u][off+t]
+				} else {
+					w.bitsBuf[t] = 0
+				}
+			}
+			w.tab.Modulate(w.xvec[u:u+1], w.bitsBuf)
+		}
+		if e.opts.DummyKernels {
+			copy(dst[sc*m:sc*m+min(m, k)], w.xvec[:min(m, k)])
+			continue
+		}
+		// y = W_pre (M×K) · x (K) written subcarrier-major.
+		w.matvec(dst[sc*m:(sc+1)*m], b.pre[preSlot][g], w.xvec)
+	}
+}
+
+// runIFFT gathers one antenna's downlink frequency grid, transforms it to
+// the time domain and leaves it in dlTime ready for packetization.
+func (w *worker) runIFFT(slot int, sym, ant uint16) {
+	e := w.eng
+	cfg := &e.cfg
+	b := e.buf
+	q := cfg.DataSubcarriers
+	m := cfg.Antennas
+	a := int(ant)
+	cf.Fill(w.freqBuf, 0)
+	src := b.dlFreq[slot][sym]
+	band := w.freqBuf[cfg.DataStart() : cfg.DataStart()+q]
+	for sc := 0; sc < q; sc++ {
+		band[sc] = src[sc*m+a]
+	}
+	if !e.opts.DummyKernels {
+		w.plan.Inverse(w.freqBuf)
+	}
+	out := b.dlTime[slot][sym][a]
+	// Cyclic prefix: copy the symbol tail in front.
+	if cfg.CPLen > 0 {
+		copy(out, w.freqBuf[cfg.OFDMSize-cfg.CPLen:])
+	}
+	copy(out[cfg.CPLen:], w.freqBuf)
+	cf.Scale(out, float32(e.dlGain))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,630 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fft"
+	"repro/internal/frame"
+	"repro/internal/fronthaul"
+	"repro/internal/ldpc"
+	"repro/internal/queue"
+)
+
+// FrameResult reports one processed frame, including the milestones
+// Figure 13(b) plots.
+type FrameResult struct {
+	Frame                                 uint32
+	Dropped                               bool // abandoned (missing packets / slot conflict / timeout)
+	FirstPkt                              time.Time
+	Start                                 time.Time // first task enqueued (queuing delay = Start-FirstPkt)
+	PilotDone, ZFDone, DecodeDone, TXDone time.Time
+	// FirstTX is when the first downlink packet left for the RRU; with
+	// Options.StaleDLSymbols it precedes ZFDone (§3.4.2).
+	FirstTX time.Time
+	// Latency is DecodeDone-FirstPkt for uplink frames, TXDone-FirstPkt
+	// for downlink-only frames.
+	Latency time.Duration
+	// BlocksOK / BlocksTotal count uplink code blocks that passed parity.
+	BlocksOK, BlocksTotal int
+	// Bits holds decoded uplink bits [symbol][user] when Options.KeepBits
+	// is set (nil entries for non-uplink symbols).
+	Bits [][][]byte
+	// OKMask mirrors Bits with per-block parity outcomes.
+	OKMask [][]bool
+}
+
+// TaskStat summarizes per-task execution cost for one block type.
+type TaskStat struct {
+	Count   int
+	MeanUS  float64 // mean microseconds per task
+	StdUS   float64
+	TotalMS float64 // cumulative across all workers, milliseconds
+}
+
+// Engine is one Agora instance bound to a fronthaul transport.
+type Engine struct {
+	cfg  frame.Config
+	opts Options
+
+	buf  *buffers
+	plan *fft.Plan
+	code *ldpc.Code
+
+	scUsed      int // subcarriers actually carrying code bits
+	hasDownlink bool
+	dlGain      float64
+
+	taskQ [queue.NumTaskTypes]*queue.Q
+	compQ *queue.Q
+	rxQ   *queue.Q
+
+	tr      fronthaul.Transport
+	results chan FrameResult
+
+	workers   []*worker
+	pollOrder [][]queue.TaskType
+
+	slotOwner []atomic.Uint32 // frame id + 1, 0 = free
+	// rxSeen dedupes fronthaul packets per (slot, symbol, antenna) BEFORE
+	// the payload copy: a retransmitted packet must not overwrite a
+	// buffer a worker may already be reading.
+	rxSeen [][][]atomic.Bool
+	drops  atomic.Int64
+
+	macPattern [][][]byte // [symbol][user] downlink truth bits
+
+	stop    chan struct{}
+	mgrDone chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	prevGC  int
+
+	// manager-private
+	lastZF struct {
+		frame uint32
+		slot  int
+		valid bool
+	}
+	frames      map[uint32]*frameState
+	pendingRx   map[uint32]pendingFrame
+	outstanding int // tasks enqueued but not completed
+	txSeq       uint64
+}
+
+// pendingFrame buffers RX notifications for a not-yet-admitted frame.
+type pendingFrame struct {
+	msgs  []queue.Msg
+	first time.Time
+}
+
+// frameState is the manager's book-keeping for one in-flight frame.
+type frameState struct {
+	id       uint32
+	slot     int
+	admitted bool
+	firstPkt time.Time
+	start    time.Time
+
+	pilotDoneT, zfDoneT, decodeDoneT, txDoneT time.Time
+
+	pilotDone, pilotTarget int
+	zfDone, zfTarget       int
+	fftDone, fftTarget     []int // per symbol
+	demodDone, demodTarget []int
+	decodeDone             []int
+	decodeAll, decodeTotal int
+	encodeDone             []int
+	precodeDone            []int
+	ifftDone               []int
+	txDone, txTarget       int
+
+	demodEnq, precodeEnq []bool
+	fftPend              [][]uint16 // per symbol, arrived-but-unbatched antennas
+	arrivals             []int      // per symbol, packets seen
+	gotPkt               [][]bool   // per symbol/antenna: dedupe retransmits
+
+	firstTXT time.Time
+
+	// Stale-precoder state (§3.4.2): when valid, the first staleSyms
+	// downlink symbols may be precoded with slot staleSlot's precoder.
+	staleValid bool
+	staleSlot  int
+
+	remaining int
+}
+
+// NewEngine constructs an engine for cfg over transport tr. cfg is
+// validated; tr may be nil only if the caller feeds packets through
+// InjectPacket (tests).
+func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.DisableBatching {
+		cfg.FFTBatch = 1
+		cfg.ZFBatch = 1
+		if cfg.DemodBlockSize > 8 {
+			cfg.DemodBlockSize = 8
+		}
+	}
+	e := &Engine{
+		cfg:         cfg,
+		opts:        opts,
+		tr:          tr,
+		code:        cfg.Code(),
+		hasDownlink: cfg.NumDownlink() > 0,
+		results:     make(chan FrameResult, 1024),
+		stop:        make(chan struct{}),
+		mgrDone:     make(chan struct{}),
+		frames:      make(map[uint32]*frameState),
+		pendingRx:   make(map[uint32]pendingFrame),
+	}
+	var err error
+	e.plan, err = fft.NewPlan(cfg.OFDMSize)
+	if err != nil {
+		return nil, err
+	}
+	e.scUsed = (e.code.N() + int(cfg.Order) - 1) / int(cfg.Order)
+	e.dlGain = 0.25 // keeps 12-bit TX quantization comfortable
+	e.buf = newBuffers(&e.cfg, opts.Slots)
+	e.slotOwner = make([]atomic.Uint32, opts.Slots)
+	e.rxSeen = make([][][]atomic.Bool, opts.Slots)
+	for s := range e.rxSeen {
+		e.rxSeen[s] = make([][]atomic.Bool, cfg.NumSymbols())
+		for sym := range e.rxSeen[s] {
+			e.rxSeen[s][sym] = make([]atomic.Bool, cfg.Antennas)
+		}
+	}
+	for t := queue.TaskType(0); t < queue.NumTaskTypes; t++ {
+		e.taskQ[t] = queue.New(opts.QueueDepth)
+	}
+	e.compQ = queue.New(opts.QueueDepth)
+	e.rxQ = queue.New(opts.QueueDepth)
+	e.initMACPattern()
+	e.buildPollOrders()
+	for i := 0; i < opts.Workers; i++ {
+		e.workers = append(e.workers, newWorker(i, e))
+	}
+	return e, nil
+}
+
+// initMACPattern fills the downlink payload for every slot once; the
+// pattern is deterministic so experiments can verify user-side reception.
+func (e *Engine) initMACPattern() {
+	rng := rand.New(rand.NewSource(0x5EED))
+	nSym := e.cfg.NumSymbols()
+	e.macPattern = make([][][]byte, nSym)
+	for s := 0; s < nSym; s++ {
+		if e.cfg.SymbolAt(s) != frame.Downlink {
+			continue
+		}
+		e.macPattern[s] = make([][]byte, e.cfg.Users)
+		for u := 0; u < e.cfg.Users; u++ {
+			bits := make([]byte, e.code.K())
+			for i := range bits {
+				bits[i] = byte(rng.Intn(2))
+			}
+			e.macPattern[s][u] = bits
+			for slot := 0; slot < e.opts.Slots; slot++ {
+				copy(e.buf.macBits[slot][s][u], bits)
+			}
+		}
+	}
+}
+
+// DownlinkTruth returns the MAC bits carried on downlink symbol sym for
+// user u (nil for non-downlink symbols).
+func (e *Engine) DownlinkTruth(sym, u int) []byte {
+	if e.macPattern[sym] == nil {
+		return nil
+	}
+	return e.macPattern[sym][u]
+}
+
+// dataParallelOrder is the static queue-polling priority (§3.3).
+var dataParallelOrder = []queue.TaskType{
+	queue.TaskPilotFFT, queue.TaskZF, queue.TaskFFT, queue.TaskDemod,
+	queue.TaskDecode, queue.TaskEncode, queue.TaskPrecode, queue.TaskIFFT,
+}
+
+// pipelineBlockWeights approximates each block's share of total compute
+// (from Table 3 for the uplink; coarse estimates for downlink blocks).
+var pipelineBlockWeights = map[queue.TaskType]float64{
+	queue.TaskPilotFFT: 0.06,
+	queue.TaskZF:       0.10,
+	queue.TaskFFT:      0.09,
+	queue.TaskDemod:    0.17,
+	queue.TaskDecode:   0.58,
+	queue.TaskEncode:   0.10,
+	queue.TaskPrecode:  0.20,
+	queue.TaskIFFT:     0.15,
+}
+
+func (e *Engine) buildPollOrders() {
+	e.pollOrder = make([][]queue.TaskType, e.opts.Workers)
+	if e.opts.Mode == DataParallel {
+		for i := range e.pollOrder {
+			e.pollOrder[i] = dataParallelOrder
+		}
+		return
+	}
+	// Pipeline-parallel: partition workers among the blocks in use,
+	// proportional to block weight, at least one worker per block.
+	var blocks []queue.TaskType
+	if e.cfg.NumUplink() > 0 || e.cfg.NumPilots() > 0 {
+		blocks = append(blocks, queue.TaskPilotFFT, queue.TaskZF)
+	}
+	if e.cfg.NumUplink() > 0 {
+		blocks = append(blocks, queue.TaskFFT, queue.TaskDemod, queue.TaskDecode)
+	}
+	if e.hasDownlink {
+		blocks = append(blocks, queue.TaskEncode, queue.TaskPrecode, queue.TaskIFFT)
+	}
+	alloc := make(map[queue.TaskType]int)
+	if e.opts.PipelineAlloc != nil {
+		alloc = e.opts.PipelineAlloc
+	} else {
+		var wsum float64
+		for _, b := range blocks {
+			wsum += pipelineBlockWeights[b]
+		}
+		assigned := 0
+		for _, b := range blocks {
+			n := int(float64(e.opts.Workers) * pipelineBlockWeights[b] / wsum)
+			if n < 1 {
+				n = 1
+			}
+			alloc[b] = n
+			assigned += n
+		}
+		// Trim or grow to exactly Workers, adjusting the largest group.
+		for assigned != e.opts.Workers {
+			big := blocks[0]
+			for _, b := range blocks {
+				if alloc[b] > alloc[big] {
+					big = b
+				}
+			}
+			if assigned > e.opts.Workers {
+				if alloc[big] > 1 {
+					alloc[big]--
+					assigned--
+				} else {
+					break
+				}
+			} else {
+				alloc[big]++
+				assigned++
+			}
+		}
+	}
+	wi := 0
+	for _, b := range blocks {
+		for n := 0; n < alloc[b] && wi < e.opts.Workers; n++ {
+			// PilotFFT workers also run ZF-adjacent FFT? No: strict
+			// pipeline — each worker serves exactly one queue, except
+			// PilotFFT workers also take data FFT (one FFT group as in
+			// BigStation's FFT servers).
+			switch b {
+			case queue.TaskPilotFFT:
+				e.pollOrder[wi] = []queue.TaskType{queue.TaskPilotFFT, queue.TaskFFT}
+			case queue.TaskFFT:
+				e.pollOrder[wi] = []queue.TaskType{queue.TaskFFT, queue.TaskPilotFFT}
+			default:
+				e.pollOrder[wi] = []queue.TaskType{b}
+			}
+			wi++
+		}
+	}
+	for ; wi < e.opts.Workers; wi++ { // leftovers help decode
+		e.pollOrder[wi] = []queue.TaskType{queue.TaskDecode}
+	}
+}
+
+// Start launches the manager, workers and network goroutines.
+func (e *Engine) Start() {
+	if e.started {
+		panic("core: Engine started twice")
+	}
+	e.started = true
+	if e.opts.RealTime {
+		e.prevGC = debug.SetGCPercent(800)
+	}
+	for i := range e.workers {
+		e.wg.Add(1)
+		go e.runWorker(e.workers[i])
+	}
+	e.wg.Add(1)
+	go e.runManager()
+	if e.tr != nil {
+		e.wg.Add(1)
+		go e.runNetRX()
+		if e.hasDownlink {
+			e.wg.Add(1)
+			go e.runNetTX()
+		}
+	}
+}
+
+// Results delivers one FrameResult per completed (or dropped) frame.
+func (e *Engine) Results() <-chan FrameResult { return e.results }
+
+// Drops returns the count of fronthaul packets discarded at admission.
+func (e *Engine) Drops() int64 { return e.drops.Load() }
+
+// Stop shuts the engine down and waits for all goroutines.
+func (e *Engine) Stop() {
+	select {
+	case <-e.stop:
+		return
+	default:
+		close(e.stop)
+	}
+	if e.tr != nil {
+		_ = e.tr.Close()
+	}
+	e.wg.Wait()
+	if e.opts.RealTime {
+		debug.SetGCPercent(e.prevGC)
+	}
+	close(e.results)
+}
+
+// TaskStats merges per-worker task cost accumulators (call after Stop or
+// during a quiescent period).
+func (e *Engine) TaskStats() map[queue.TaskType]TaskStat {
+	out := make(map[queue.TaskType]TaskStat)
+	for t := queue.TaskType(0); t < queue.NumTaskTypes; t++ {
+		n := 0
+		totalUS := 0.0
+		for _, w := range e.workers {
+			a := &w.perTask[t]
+			n += a.N()
+			totalUS += a.Mean() * float64(a.N())
+		}
+		if n == 0 {
+			continue
+		}
+		mean := totalUS / float64(n)
+		// Pooled variance: per-worker variance plus between-worker spread.
+		var varAcc float64
+		for _, w := range e.workers {
+			a := &w.perTask[t]
+			if a.N() > 0 {
+				d := a.Mean() - mean
+				varAcc += float64(a.N()) * (a.Std()*a.Std() + d*d)
+			}
+		}
+		out[t] = TaskStat{
+			Count:   n,
+			MeanUS:  mean,
+			StdUS:   math.Sqrt(varAcc / float64(n)),
+			TotalMS: totalUS / 1000,
+		}
+	}
+	return out
+}
+
+// InjectPacket feeds one fronthaul packet directly (test hook bypassing
+// the transport). The packet is parsed and copied synchronously.
+func (e *Engine) InjectPacket(pkt []byte) error {
+	return e.acceptPacket(pkt)
+}
+
+// runNetRX is the dedicated network receive thread (§4.3 uses two DPDK
+// threads; a single goroutine saturates the in-process ring here).
+func (e *Engine) runNetRX() {
+	defer e.wg.Done()
+	if e.opts.RealTime {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for {
+		pkt, ok := e.tr.Recv()
+		if !ok {
+			return
+		}
+		if err := e.acceptPacket(pkt); err != nil {
+			e.drops.Add(1)
+		}
+		e.tr.Release(pkt)
+	}
+}
+
+// acceptPacket validates, claims the frame's buffer slot, copies the
+// payload into shared memory and notifies the manager.
+func (e *Engine) acceptPacket(pkt []byte) error {
+	var h fronthaul.Header
+	if err := h.Decode(pkt); err != nil {
+		return err
+	}
+	cfg := &e.cfg
+	if int(h.Symbol) >= cfg.NumSymbols() || int(h.Antenna) >= cfg.Antennas {
+		return fmt.Errorf("core: packet out of range: %v", h)
+	}
+	st := cfg.SymbolAt(int(h.Symbol))
+	if st != frame.Pilot && st != frame.Uplink {
+		return fmt.Errorf("core: unexpected RX for symbol type %c", st)
+	}
+	slot := int(h.Frame) % e.opts.Slots
+	owner := e.slotOwner[slot].Load()
+	switch owner {
+	case h.Frame + 1: // already ours
+	case 0:
+		if !e.slotOwner[slot].CompareAndSwap(0, h.Frame+1) &&
+			e.slotOwner[slot].Load() != h.Frame+1 {
+			return fmt.Errorf("core: slot %d contended", slot)
+		}
+	default:
+		return fmt.Errorf("core: slot %d busy with frame %d", slot, owner-1)
+	}
+	if !e.rxSeen[slot][h.Symbol][h.Antenna].CompareAndSwap(false, true) {
+		return fmt.Errorf("core: duplicate packet %v", h)
+	}
+	dst := e.buf.rxRaw[slot][h.Symbol][h.Antenna]
+	copy(dst, fronthaul.Payload(pkt, &h))
+	m := queue.Msg{
+		Type:    queue.TaskPacketRX,
+		Frame:   h.Frame,
+		Slot:    uint32(slot),
+		Symbol:  h.Symbol,
+		TaskIdx: h.Antenna,
+	}
+	for !e.rxQ.TryEnqueue(m) {
+		select {
+		case <-e.stop:
+			return nil
+		default:
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// runNetTX drains TaskPacketTX messages, packetizes downlink time-domain
+// samples and sends them to the RRU.
+func (e *Engine) runNetTX() {
+	defer e.wg.Done()
+	n := e.cfg.SamplesPerSymbol()
+	buf := make([]byte, 0, fronthaul.PacketSize(n))
+	iq := make([]int16, 2*n)
+	for {
+		m, ok := e.taskQ[queue.TaskPacketTX].TryDequeue()
+		if !ok {
+			select {
+			case <-e.stop:
+				return
+			default:
+				runtime.Gosched()
+				continue
+			}
+		}
+		h := fronthaul.Header{
+			Frame:   m.Frame,
+			Symbol:  m.Symbol,
+			Antenna: m.TaskIdx,
+			Dir:     fronthaul.DirDownlink,
+			Seq:     atomic.AddUint64(&e.txSeq, 1),
+		}
+		pkt := fronthaul.BuildPacket(buf, iq, h, e.buf.dlTime[m.Slot][m.Symbol][m.TaskIdx])
+		_ = e.tr.Send(pkt)
+		comp := m
+		comp.Batch = 1
+		for !e.compQ.TryEnqueue(comp) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// runWorker is the worker loop: poll task queues in priority order,
+// execute, report completion (§3.3). The paper busy-polls on dedicated
+// isolated cores; on shared cores a short idle backoff (spin first, then
+// brief sleeps) keeps reactivity in the microseconds without starving
+// whatever else runs on the machine.
+func (e *Engine) runWorker(w *worker) {
+	defer e.wg.Done()
+	if e.opts.RealTime {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	order := e.pollOrder[w.id]
+	idle := 0
+	for {
+		var m queue.Msg
+		got := false
+		for _, t := range order {
+			if mm, ok := e.taskQ[t].TryDequeue(); ok {
+				m = mm
+				got = true
+				break
+			}
+		}
+		if !got {
+			select {
+			case <-e.stop:
+				return
+			default:
+				idle++
+				if idle > 256 && !e.opts.RealTime {
+					time.Sleep(20 * time.Microsecond)
+				} else {
+					runtime.Gosched()
+				}
+				continue
+			}
+		}
+		idle = 0
+		start := time.Now()
+		e.execute(w, m)
+		el := time.Since(start)
+		batch := int(m.Batch)
+		if batch < 1 {
+			batch = 1
+		}
+		perTask := float64(el.Nanoseconds()) / 1000 / float64(batch)
+		for i := 0; i < batch; i++ {
+			w.perTask[m.Type].Add(perTask)
+		}
+		for !e.compQ.TryEnqueue(m) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// execute dispatches one (possibly batched) task message.
+func (e *Engine) execute(w *worker, m queue.Msg) {
+	batch := int(m.Batch)
+	if batch < 1 {
+		batch = 1
+	}
+	slot := int(m.Slot)
+	for i := 0; i < batch; i++ {
+		idx := int(m.TaskIdx) + i
+		switch m.Type {
+		case queue.TaskPilotFFT:
+			e.executePilotFFT(w, slot, m.Symbol, uint16(idx))
+		case queue.TaskZF:
+			w.runZF(slot, idx)
+		case queue.TaskFFT:
+			w.runFFT(slot, m.Symbol, uint16(idx))
+		case queue.TaskDemod:
+			w.runDemod(slot, m.Symbol, idx)
+		case queue.TaskDecode:
+			w.runDecode(slot, m.Symbol, idx)
+		case queue.TaskEncode:
+			w.runEncode(slot, m.Symbol, idx)
+		case queue.TaskPrecode:
+			preSlot := slot
+			if m.Aux > 0 {
+				preSlot = int(m.Aux - 1)
+			}
+			w.runPrecode(slot, m.Symbol, idx, preSlot)
+		case queue.TaskIFFT:
+			w.runIFFT(slot, m.Symbol, uint16(idx))
+		default:
+			panic(fmt.Sprintf("core: worker got %v", m.Type))
+		}
+	}
+}
+
+func (e *Engine) executePilotFFT(w *worker, slot int, sym, ant uint16) {
+	// Pilot index = position of sym among pilot symbols.
+	pi := 0
+	for s := 0; s < int(sym); s++ {
+		if e.cfg.SymbolAt(s) == frame.Pilot {
+			pi++
+		}
+	}
+	w.runPilotFFT(slot, sym, ant, pi)
+}

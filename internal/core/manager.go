@@ -1,0 +1,514 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/frame"
+	"repro/internal/queue"
+)
+
+// runManager is Agora's manager thread (§3.2): it consumes RX
+// notifications and task completions, tracks per-frame dependency state,
+// and feeds the per-type task queues.
+func (e *Engine) runManager() {
+	defer e.wg.Done()
+	if e.opts.RealTime {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	frameTimeout := e.opts.FrameTimeout
+	lastTimeoutCheck := time.Now()
+	idle := 0
+	for {
+		progress := false
+		for {
+			m, ok := e.compQ.TryDequeue()
+			if !ok {
+				break
+			}
+			e.onCompletion(m)
+			progress = true
+		}
+		for {
+			m, ok := e.rxQ.TryDequeue()
+			if !ok {
+				break
+			}
+			e.onRX(m)
+			progress = true
+		}
+		if !progress {
+			select {
+			case <-e.stop:
+				return
+			default:
+			}
+			if now := time.Now(); now.Sub(lastTimeoutCheck) > frameTimeout/4 {
+				e.reapStale(now)
+				lastTimeoutCheck = now
+			}
+			idle++
+			if idle > 256 && !e.opts.RealTime {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+		} else {
+			idle = 0
+		}
+	}
+}
+
+// newFrameState sizes the counters for one frame.
+func (e *Engine) newFrameState(id uint32, slot int, t time.Time) *frameState {
+	cfg := &e.cfg
+	nSym := cfg.NumSymbols()
+	f := &frameState{
+		id:          id,
+		slot:        slot,
+		firstPkt:    t,
+		fftDone:     make([]int, nSym),
+		fftTarget:   make([]int, nSym),
+		demodDone:   make([]int, nSym),
+		demodTarget: make([]int, nSym),
+		decodeDone:  make([]int, nSym),
+		encodeDone:  make([]int, nSym),
+		precodeDone: make([]int, nSym),
+		ifftDone:    make([]int, nSym),
+		demodEnq:    make([]bool, nSym),
+		precodeEnq:  make([]bool, nSym),
+		fftPend:     make([][]uint16, nSym),
+		arrivals:    make([]int, nSym),
+		gotPkt:      make([][]bool, nSym),
+	}
+	for s := range f.gotPkt {
+		f.gotPkt[s] = make([]bool, cfg.Antennas)
+	}
+	m := cfg.Antennas
+	g := cfg.ZFGroups()
+	k := cfg.Users
+	f.pilotTarget = cfg.NumPilots() * m
+	f.zfTarget = g
+	total := f.pilotTarget + f.zfTarget
+	for s := 0; s < nSym; s++ {
+		switch cfg.SymbolAt(s) {
+		case frame.Uplink:
+			f.fftTarget[s] = m
+			f.demodTarget[s] = e.demodBlocksUsed()
+			total += m + f.demodTarget[s] + k
+			f.decodeTotal += k
+		case frame.Downlink:
+			total += k + g + m // encode + precode + ifft
+			f.txTarget += m
+		}
+	}
+	total += f.txTarget
+	// Stale-precoder eligibility: only the immediately preceding frame's
+	// precoder is fresh enough, and it must live in a different slot.
+	if e.opts.StaleDLSymbols > 0 && e.lastZF.valid &&
+		e.lastZF.frame+1 == id && e.lastZF.slot != slot {
+		f.staleValid = true
+		f.staleSlot = e.lastZF.slot
+	}
+	f.remaining = total
+	return f
+}
+
+// demodBlocksUsed counts demod tasks per symbol, covering only the
+// subcarriers that carry code bits.
+func (e *Engine) demodBlocksUsed() int {
+	return (e.scUsed + e.cfg.DemodBlockSize - 1) / e.cfg.DemodBlockSize
+}
+
+// admissible implements the frame-admission gate: the data-parallel policy
+// holds the next frame back until the workers are about to go idle
+// (§3.4.1 inter-frame pipelining), while the pipeline-parallel variant
+// admits every frame immediately.
+func (e *Engine) admissible() bool {
+	if e.opts.Mode == PipelineParallel {
+		return true
+	}
+	if len(e.frames) == 0 {
+		return true
+	}
+	return e.outstanding < e.opts.Workers
+}
+
+// onRX handles one received-packet notification.
+func (e *Engine) onRX(m queue.Msg) {
+	if f, ok := e.frames[m.Frame]; ok {
+		e.dispatchRX(f, m)
+		return
+	}
+	if pend, ok := e.pendingRx[m.Frame]; ok {
+		pend.msgs = append(pend.msgs, m)
+		e.pendingRx[m.Frame] = pend
+		e.tryAdmitPending()
+		return
+	}
+	if e.admissible() {
+		f := e.newFrameState(m.Frame, int(m.Slot), time.Now())
+		e.frames[m.Frame] = f
+		e.admitDownlink(f)
+		e.dispatchRX(f, m)
+		return
+	}
+	e.pendingRx[m.Frame] = pendingFrame{msgs: []queue.Msg{m}, first: time.Now()}
+}
+
+// admitDownlink enqueues the encode tasks of a newly admitted frame; the
+// MAC payload is already resident in the slot buffers.
+func (e *Engine) admitDownlink(f *frameState) {
+	if !e.hasDownlink {
+		return
+	}
+	for s := 0; s < e.cfg.NumSymbols(); s++ {
+		if e.cfg.SymbolAt(s) != frame.Downlink {
+			continue
+		}
+		for u := 0; u < e.cfg.Users; u++ {
+			e.enqueueTask(f, queue.Msg{
+				Type: queue.TaskEncode, Frame: f.id, Slot: uint32(f.slot),
+				Symbol: uint16(s), TaskIdx: uint16(u), Batch: 1,
+			})
+		}
+	}
+}
+
+// dispatchRX turns one packet arrival into (batched) FFT work.
+// Duplicate packets (UDP retransmits, misbehaving RRUs) are dropped here:
+// processing an antenna twice would corrupt the frame's task accounting.
+func (e *Engine) dispatchRX(f *frameState, m queue.Msg) {
+	cfg := &e.cfg
+	sym := int(m.Symbol)
+	if f.gotPkt[sym][m.TaskIdx] {
+		e.drops.Add(1)
+		return
+	}
+	f.gotPkt[sym][m.TaskIdx] = true
+	taskType := queue.TaskFFT
+	if cfg.SymbolAt(sym) == frame.Pilot {
+		taskType = queue.TaskPilotFFT
+	}
+	f.arrivals[sym]++
+	f.fftPend[sym] = append(f.fftPend[sym], m.TaskIdx)
+	e.flushFFT(f, sym, taskType)
+}
+
+// flushFFT emits batched FFT messages from the pending-arrival list:
+// contiguous runs of FFTBatch antennas per message (arrival order is
+// near-sequential; everything left flushes once all antennas arrived).
+func (e *Engine) flushFFT(f *frameState, sym int, t queue.TaskType) {
+	batch := e.cfg.FFTBatch
+	pend := f.fftPend[sym]
+	force := f.arrivals[sym] == e.cfg.Antennas
+	for len(pend) >= batch || (force && len(pend) > 0) {
+		n := batch
+		if n > len(pend) {
+			n = len(pend)
+		}
+		// Emit the next run of contiguous indices.
+		run := 1
+		for run < n && pend[run] == pend[run-1]+1 {
+			run++
+		}
+		e.enqueueTask(f, queue.Msg{
+			Type: t, Frame: f.id, Slot: uint32(f.slot), Symbol: uint16(sym),
+			TaskIdx: pend[0], Batch: uint8(run),
+		})
+		pend = pend[run:]
+	}
+	f.fftPend[sym] = pend
+}
+
+// enqueueTask puts a message on its task queue and accounts for it.
+func (e *Engine) enqueueTask(f *frameState, m queue.Msg) {
+	if f.start.IsZero() {
+		f.start = time.Now()
+	}
+	b := int(m.Batch)
+	if b < 1 {
+		b = 1
+		m.Batch = 1
+	}
+	e.outstanding += b
+	for !e.taskQ[m.Type].TryEnqueue(m) {
+		// Queue full: drain completions to make progress, then retry.
+		if cm, ok := e.compQ.TryDequeue(); ok {
+			e.onCompletion(cm)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// onCompletion advances the frame state machine.
+func (e *Engine) onCompletion(m queue.Msg) {
+	b := int(m.Batch)
+	if b < 1 {
+		b = 1
+	}
+	e.outstanding -= b
+	f, ok := e.frames[m.Frame]
+	if !ok {
+		return // frame was reaped
+	}
+	cfg := &e.cfg
+	sym := int(m.Symbol)
+	now := time.Now()
+	f.remaining -= b
+	switch m.Type {
+	case queue.TaskPilotFFT:
+		f.pilotDone += b
+		if f.pilotDone == f.pilotTarget {
+			f.pilotDoneT = now
+			// Enqueue all ZF groups, batched.
+			g := cfg.ZFGroups()
+			for lo := 0; lo < g; lo += cfg.ZFBatch {
+				n := cfg.ZFBatch
+				if lo+n > g {
+					n = g - lo
+				}
+				e.enqueueTask(f, queue.Msg{
+					Type: queue.TaskZF, Frame: f.id, Slot: uint32(f.slot),
+					TaskIdx: uint16(lo), Batch: uint8(n),
+				})
+			}
+		}
+	case queue.TaskZF:
+		f.zfDone += b
+		if f.zfDone == f.zfTarget {
+			f.zfDoneT = now
+			e.lastZF.frame = f.id
+			e.lastZF.slot = f.slot
+			e.lastZF.valid = true
+			for s := 0; s < cfg.NumSymbols(); s++ {
+				if cfg.SymbolAt(s) == frame.Uplink && f.fftDone[s] == f.fftTarget[s] {
+					e.enqueueDemod(f, s)
+				}
+				if cfg.SymbolAt(s) == frame.Downlink && f.encodeDone[s] == cfg.Users {
+					e.enqueuePrecode(f, s, 0)
+				}
+			}
+		}
+	case queue.TaskFFT:
+		f.fftDone[sym] += b
+		if f.fftDone[sym] == f.fftTarget[sym] && f.zfDone == f.zfTarget {
+			e.enqueueDemod(f, sym)
+		}
+	case queue.TaskDemod:
+		f.demodDone[sym] += b
+		if f.demodDone[sym] == f.demodTarget[sym] {
+			for u := 0; u < cfg.Users; u++ {
+				e.enqueueTask(f, queue.Msg{
+					Type: queue.TaskDecode, Frame: f.id, Slot: uint32(f.slot),
+					Symbol: uint16(sym), TaskIdx: uint16(u), Batch: 1,
+				})
+			}
+		}
+	case queue.TaskDecode:
+		f.decodeDone[sym] += b
+		f.decodeAll += b
+		if f.decodeAll == f.decodeTotal {
+			f.decodeDoneT = now
+		}
+	case queue.TaskEncode:
+		f.encodeDone[sym] += b
+		if f.encodeDone[sym] == cfg.Users {
+			switch {
+			case f.zfDone == f.zfTarget:
+				e.enqueuePrecode(f, sym, 0)
+			case f.staleValid && e.dlRank(sym) < e.opts.StaleDLSymbols:
+				// §3.4.2: precode the frame's leading downlink symbols
+				// with the previous frame's precoder so the RRU receives
+				// them before this frame's pilots are even processed.
+				e.enqueuePrecode(f, sym, uint64(f.staleSlot)+1)
+			}
+		}
+	case queue.TaskPrecode:
+		f.precodeDone[sym] += b
+		if f.precodeDone[sym] == cfg.ZFGroups() {
+			for a := 0; a < cfg.Antennas; a += cfg.FFTBatch {
+				n := cfg.FFTBatch
+				if a+n > cfg.Antennas {
+					n = cfg.Antennas - a
+				}
+				e.enqueueTask(f, queue.Msg{
+					Type: queue.TaskIFFT, Frame: f.id, Slot: uint32(f.slot),
+					Symbol: uint16(sym), TaskIdx: uint16(a), Batch: uint8(n),
+				})
+			}
+		}
+	case queue.TaskIFFT:
+		f.ifftDone[sym] += b
+		// Emit one TX message per completed antenna immediately.
+		for i := 0; i < b; i++ {
+			e.enqueueTask(f, queue.Msg{
+				Type: queue.TaskPacketTX, Frame: f.id, Slot: uint32(f.slot),
+				Symbol: m.Symbol, TaskIdx: m.TaskIdx + uint16(i), Batch: 1,
+			})
+		}
+	case queue.TaskPacketTX:
+		f.txDone += b
+		if f.firstTXT.IsZero() {
+			f.firstTXT = now
+		}
+		if f.txDone == f.txTarget {
+			f.txDoneT = now
+		}
+	}
+	if f.remaining == 0 {
+		e.finishFrame(f, false)
+	} else {
+		e.tryAdmitPending()
+	}
+}
+
+// enqueueDemod schedules all demod blocks of one symbol exactly once.
+func (e *Engine) enqueueDemod(f *frameState, sym int) {
+	if f.demodEnq[sym] {
+		return
+	}
+	f.demodEnq[sym] = true
+	for blk := 0; blk < f.demodTarget[sym]; blk++ {
+		e.enqueueTask(f, queue.Msg{
+			Type: queue.TaskDemod, Frame: f.id, Slot: uint32(f.slot),
+			Symbol: uint16(sym), TaskIdx: uint16(blk), Batch: 1,
+		})
+	}
+}
+
+// enqueuePrecode schedules all precode groups of one downlink symbol
+// once. aux selects the precoder slot: 0 means the frame's own, otherwise
+// slot aux-1 (the stale-precoder path).
+func (e *Engine) enqueuePrecode(f *frameState, sym int, aux uint64) {
+	if f.precodeEnq[sym] {
+		return
+	}
+	f.precodeEnq[sym] = true
+	for g := 0; g < e.cfg.ZFGroups(); g++ {
+		e.enqueueTask(f, queue.Msg{
+			Type: queue.TaskPrecode, Frame: f.id, Slot: uint32(f.slot),
+			Symbol: uint16(sym), TaskIdx: uint16(g), Batch: 1, Aux: aux,
+		})
+	}
+}
+
+// dlRank returns sym's position among the frame's downlink symbols.
+func (e *Engine) dlRank(sym int) int {
+	r := 0
+	for s := 0; s < sym; s++ {
+		if e.cfg.SymbolAt(s) == frame.Downlink {
+			r++
+		}
+	}
+	return r
+}
+
+// tryAdmitPending admits buffered frames when the gate opens.
+func (e *Engine) tryAdmitPending() {
+	if len(e.pendingRx) == 0 || !e.admissible() {
+		return
+	}
+	// Admit the oldest pending frame.
+	var oldest uint32
+	first := true
+	for id := range e.pendingRx {
+		if first || id < oldest {
+			oldest = id
+			first = false
+		}
+	}
+	pend := e.pendingRx[oldest]
+	delete(e.pendingRx, oldest)
+	f := e.newFrameState(oldest, int(pend.msgs[0].Slot), pend.first)
+	e.frames[oldest] = f
+	e.admitDownlink(f)
+	for _, pm := range pend.msgs {
+		e.dispatchRX(f, pm)
+	}
+}
+
+// finishFrame emits the FrameResult and releases the slot.
+func (e *Engine) finishFrame(f *frameState, dropped bool) {
+	cfg := &e.cfg
+	res := FrameResult{
+		Frame:      f.id,
+		Dropped:    dropped,
+		FirstPkt:   f.firstPkt,
+		Start:      f.start,
+		PilotDone:  f.pilotDoneT,
+		ZFDone:     f.zfDoneT,
+		DecodeDone: f.decodeDoneT,
+		TXDone:     f.txDoneT,
+		FirstTX:    f.firstTXT,
+	}
+	end := f.decodeDoneT
+	if cfg.NumUplink() == 0 {
+		end = f.txDoneT
+	}
+	if !end.IsZero() {
+		res.Latency = end.Sub(f.firstPkt)
+	}
+	if !dropped {
+		for s := 0; s < cfg.NumSymbols(); s++ {
+			if cfg.SymbolAt(s) != frame.Uplink {
+				continue
+			}
+			for u := 0; u < cfg.Users; u++ {
+				res.BlocksTotal++
+				if e.buf.decodeOK[f.slot][s][u] {
+					res.BlocksOK++
+				}
+			}
+		}
+		if e.opts.KeepBits {
+			res.Bits = make([][][]byte, cfg.NumSymbols())
+			res.OKMask = make([][]bool, cfg.NumSymbols())
+			for s := 0; s < cfg.NumSymbols(); s++ {
+				if cfg.SymbolAt(s) != frame.Uplink {
+					continue
+				}
+				res.Bits[s] = make([][]byte, cfg.Users)
+				res.OKMask[s] = make([]bool, cfg.Users)
+				for u := 0; u < cfg.Users; u++ {
+					res.Bits[s][u] = append([]byte(nil), e.buf.decoded[f.slot][s][u]...)
+					res.OKMask[s][u] = e.buf.decodeOK[f.slot][s][u]
+				}
+			}
+		}
+	}
+	delete(e.frames, f.id)
+	// Clear the RX-dedupe bitmap BEFORE releasing the slot: once the
+	// owner word is zero a new frame may claim the slot and start setting
+	// flags, which a late clear would wipe.
+	for sym := range e.rxSeen[f.slot] {
+		for a := range e.rxSeen[f.slot][sym] {
+			e.rxSeen[f.slot][sym][a].Store(false)
+		}
+	}
+	e.slotOwner[f.slot].Store(0)
+	select {
+	case e.results <- res:
+	default: // consumer too slow; drop the report, not the pipeline
+	}
+	e.tryAdmitPending()
+}
+
+// reapStale abandons frames that stopped making progress (lost packets).
+func (e *Engine) reapStale(now time.Time) {
+	frameTimeout := e.opts.FrameTimeout
+	for _, f := range e.frames {
+		if now.Sub(f.firstPkt) > frameTimeout {
+			e.drops.Add(1)
+			e.finishFrame(f, true)
+		}
+	}
+	for id, pend := range e.pendingRx {
+		if now.Sub(pend.first) > frameTimeout {
+			delete(e.pendingRx, id)
+			e.drops.Add(1)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package core implements Agora itself: the global shared buffers, the
+// per-block compute kernels, and the manager–worker engine that schedules
+// baseband tasks across workers with data parallelism first (paper §3).
+// A pipeline-parallel variant (§5.4) shares the same kernels and buffers
+// but statically partitions workers among blocks.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/queue"
+)
+
+// Mode selects the scheduling policy.
+type Mode int
+
+// Scheduling modes.
+const (
+	// DataParallel is Agora's policy: every worker can run every task
+	// type, and all workers gang up on the earliest available frame.
+	DataParallel Mode = iota
+	// PipelineParallel is the BigStation-style baseline: workers are
+	// statically partitioned into per-block groups.
+	PipelineParallel
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == DataParallel {
+		return "data-parallel"
+	}
+	return "pipeline-parallel"
+}
+
+// Options collects the engine knobs, including every optimization the
+// paper ablates in Table 4. The zero value of each toggle is the
+// *optimized* setting so that Options{} behaves like Agora with all
+// optimizations on.
+type Options struct {
+	Mode    Mode
+	Workers int // worker goroutines (excluding manager and net threads)
+
+	// Slots is the number of frames of global buffer space (paper
+	// provisions "tens of frames"; experiments use a handful).
+	Slots int
+
+	// DisableBatching turns off task batching (§3.4): every message
+	// carries exactly one task.
+	DisableBatching bool
+
+	// DisableMemOpt turns off the memory-access optimization (§4.1):
+	// instead of FFT workers writing transposed (subcarrier-major) output
+	// that demodulation reads contiguously, FFT writes antenna-major and
+	// demodulation gathers across strided cache lines.
+	DisableMemOpt bool
+
+	// DisableDirectStore turns off the non-temporal-store analogue
+	// (§4.1): FFT results are first written to a worker-private staging
+	// buffer and then copied into the shared buffer, doubling the
+	// coherence traffic that direct stores avoid.
+	DisableDirectStore bool
+
+	// DisableInverseOpt replaces the direct Gram-matrix inversion in
+	// zero-forcing with the robust SVD pseudo-inverse (§4.2).
+	DisableInverseOpt bool
+
+	// DisableJITGemm replaces the specialized matrix kernels with
+	// textbook loops (§4.2).
+	DisableJITGemm bool
+
+	// DisableSIMDConvert replaces the word-packed IQ conversion with the
+	// byte-at-a-time version (§4, data type conversions).
+	DisableSIMDConvert bool
+
+	// RealTime pins workers to OS threads and disables GC assists during
+	// the run, the analogue of running Agora as a real-time process with
+	// isolated cores (§4.3). Unlike the other knobs this one defaults to
+	// off because it is process-global.
+	RealTime bool
+
+	// DummyKernels replaces every compute kernel with a version that only
+	// performs the kernel's memory reads and writes, isolating data
+	// movement from computation (§6.2.2 methodology).
+	DummyKernels bool
+
+	// PipelineAlloc optionally fixes the per-block worker counts for
+	// PipelineParallel mode; when nil an allocation proportional to
+	// measured block cost is used. Indexed by queue.TaskType.
+	PipelineAlloc map[queue.TaskType]int
+
+	// KeepBits retains decoded uplink bits in each FrameResult (needed by
+	// BER/BLER experiments; adds per-frame allocation).
+	KeepBits bool
+
+	// UseMRC replaces the zero-forcing equalizer with conjugate
+	// (maximum-ratio-combining) beamforming, the lower-overhead method
+	// the paper suggests for ill-conditioned channels (§4.2).
+	UseMRC bool
+
+	// StaleDLSymbols lets the first n downlink data symbols of a frame be
+	// precoded with the PREVIOUS frame's precoder (§3.4.2), so their
+	// samples reach the RRU before this frame's pilots have even been
+	// processed — eliminating RRU idle time at the cost of slight
+	// precoder staleness.
+	StaleDLSymbols int
+
+	// QueueDepth sizes each task queue (messages).
+	QueueDepth int
+
+	// FrameTimeout abandons a frame whose packets stopped arriving,
+	// keeping the engine live under fronthaul loss. Zero means 2s.
+	FrameTimeout time.Duration
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Slots <= 0 {
+		o.Slots = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8192
+	}
+	if o.FrameTimeout <= 0 {
+		o.FrameTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// validate rejects nonsensical combinations.
+func (o Options) validate() error {
+	if o.Mode == PipelineParallel && o.Workers < 4 {
+		return fmt.Errorf("core: pipeline-parallel mode needs >= 4 workers, got %d", o.Workers)
+	}
+	return nil
+}

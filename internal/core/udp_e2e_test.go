@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/fronthaul"
+	"repro/internal/workload"
+)
+
+// TestUDPEndToEnd drives the engine over the real UDP transport — the
+// cmd/rru → cmd/agora deployment path — on the loopback interface.
+func TestUDPEndToEnd(t *testing.T) {
+	cfg := smallCfg()
+	mtu := fronthaul.PacketSize(cfg.SamplesPerSymbol()) + 64
+
+	server, err := fronthaul.NewUDP("127.0.0.1:0", "", mtu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(cfg, Options{Workers: 3}, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	client, err := fronthaul.NewUDP("127.0.0.1:0", server.LocalAddr().String(), mtu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	gen, err := workload.NewGenerator(cfg, channel.Rayleigh, 28, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okFrames := 0
+	for f := 0; f < 5; f++ {
+		if err := gen.EmitFrame(uint32(f), client.Send); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case r := <-eng.Results():
+			if !r.Dropped && r.BlocksOK == r.BlocksTotal {
+				okFrames++
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatalf("frame %d timed out over UDP", f)
+		}
+	}
+	// Loopback UDP may drop under burst; most frames must survive.
+	if okFrames < 3 {
+		t.Fatalf("only %d/5 frames decoded over loopback UDP", okFrames)
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOpt shrinks every experiment to smoke-test scale.
+func tinyOpt() Opt { return Opt{Quick: true, Frames: 2, Workers: 2, Seed: 1} }
+
+func TestAllExperimentsRunAndProduceRows(t *testing.T) {
+	// Every registered experiment must run cleanly at smoke scale and
+	// produce non-trivial tabular output.
+	skipSlow := map[string]bool{}
+	for _, name := range Names() {
+		if skipSlow[name] {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := All[name](&buf, tinyOpt()); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out := buf.String()
+			if len(out) < 80 {
+				t.Fatalf("%s: suspiciously short output:\n%s", name, out)
+			}
+			lines := strings.Split(strings.TrimSpace(out), "\n")
+			data := 0
+			for _, l := range lines {
+				if l != "" && !strings.HasPrefix(l, "#") && !strings.HasPrefix(l, "[") {
+					data++
+				}
+			}
+			if data < 2 {
+				t.Fatalf("%s: no data rows:\n%s", name, out)
+			}
+		})
+	}
+}
+
+func TestNamesStableAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(All) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(All))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+	for _, want := range []string{"table1", "table3", "table4", "table5",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13"} {
+		if _, ok := All[want]; !ok {
+			t.Errorf("experiment %q missing (required by the paper's evaluation)", want)
+		}
+	}
+}
+
+func TestOptDefaults(t *testing.T) {
+	o := Opt{}.withDefaults()
+	if o.Workers <= 0 || o.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if (Opt{Quick: true}).frames(3, 10) != 3 {
+		t.Fatal("quick frames")
+	}
+	if (Opt{}).frames(3, 10) != 10 {
+		t.Fatal("full frames")
+	}
+	if (Opt{Frames: 7}).frames(3, 10) != 7 {
+		t.Fatal("override frames")
+	}
+}
+
+func TestMinWorkersKeepingUpFindsThreshold(t *testing.T) {
+	// A 1 ms 64x16 frame needs ~17 ms of compute: 4 workers can't keep
+	// up, ~22 can. The search must land in between.
+	w, r, err := minWorkersKeepingUp(simBase(), 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 15 || w > 30 {
+		t.Fatalf("min workers %d outside plausible range", w)
+	}
+	if !r.KeepsUp {
+		t.Fatal("returned result does not keep up")
+	}
+}
+
+func TestFig12WaterfallShape(t *testing.T) {
+	// BER at 0 dB must exceed BER at 30 dB for rate 1/3 — the waterfall.
+	var buf bytes.Buffer
+	if err := Fig12a(&buf, Opt{Quick: true, Frames: 10, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0.000|") {
+		t.Fatalf("no error-free high-SNR points:\n%s", out)
+	}
+}

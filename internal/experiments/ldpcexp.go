@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/ldpc"
+	"repro/internal/modulation"
+)
+
+// ldpcPoint measures BER and mean decode time for one LDPC configuration
+// at one SNR over nBlocks AWGN 64-QAM blocks.
+func ldpcPoint(code *ldpc.Code, iters, nBlocks int, snrDB float64, seed int64) (ber float64, perBlock time.Duration) {
+	rng := rand.New(rand.NewSource(seed))
+	dec := ldpc.NewDecoder(code)
+	dec.Alg = ldpc.OffsetMinSum // the FlexRAN algorithm the paper uses
+	tab := modulation.Get(modulation.QAM64)
+	order := tab.BitsPerSymbol()
+	n := code.N()
+	scs := (n + order - 1) / order
+	noiseVar := channel.NoiseVarForSNR(snrDB)
+
+	info := make([]byte, code.K())
+	cw := make([]byte, n)
+	padded := make([]byte, scs*order)
+	sym := make([]complex64, scs)
+	llr := make([]float32, scs*order)
+	out := make([]byte, code.K())
+
+	var bitErrs, bits int
+	var total time.Duration
+	for b := 0; b < nBlocks; b++ {
+		for i := range info {
+			info[i] = byte(rng.Intn(2))
+		}
+		code.Encode(cw, info)
+		copy(padded, cw)
+		tab.Modulate(sym, padded)
+		channel.AWGN(sym, noiseVar, rng)
+		tab.DemodulateSoft(llr, sym, float32(noiseVar))
+		t0 := time.Now()
+		dec.Decode(out, llr[:n], iters)
+		total += time.Since(t0)
+		for i := range info {
+			if out[i] != info[i] {
+				bitErrs++
+			}
+		}
+		bits += len(info)
+	}
+	return float64(bitErrs) / float64(bits), total / time.Duration(nBlocks)
+}
+
+// Fig12a reproduces Figure 12(a): BER and decoding time versus SNR for
+// lifting sizes Z ∈ {104, 384} and iteration limits {5, 10} at rate 1/3.
+func Fig12a(w io.Writer, o Opt) error {
+	o = o.withDefaults()
+	blocks := o.frames(20, 150)
+	fmt.Fprintln(w, "# Figure 12(a): LDPC BER & decode time vs SNR (R=1/3, 64-QAM, AWGN)")
+	fmt.Fprintln(w, "# paper: waterfall near 10 dB; time linear in Z and iterations;")
+	fmt.Fprintln(w, "#   smaller Z / fewer iterations do not worsen BER")
+	snrs := []float64{0, 5, 10, 15, 20, 25, 30}
+	if o.Quick {
+		snrs = []float64{0, 10, 20, 30}
+	}
+	cases := []struct {
+		z, itr int
+	}{{384, 10}, {384, 5}, {104, 10}, {104, 5}}
+	fmt.Fprintf(w, "%-6s %-5s", "Z", "itr")
+	for _, s := range snrs {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("%gdB", s))
+	}
+	fmt.Fprintln(w, "   (BER | µs/block)")
+	for _, c := range cases {
+		code := ldpc.MustNew(ldpc.Rate13, c.z)
+		fmt.Fprintf(w, "%-6d %-5d", c.z, c.itr)
+		for _, snr := range snrs {
+			ber, t := ldpcPoint(code, c.itr, blocks, snr, o.Seed)
+			fmt.Fprintf(w, " %5.3f|%4d", ber, t.Microseconds())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig12b reproduces Figure 12(b): BER and decoding time versus SNR for
+// code rates {1/3, 2/3, 8/9} with Z=104 and up to 5 iterations.
+func Fig12b(w io.Writer, o Opt) error {
+	o = o.withDefaults()
+	blocks := o.frames(20, 150)
+	fmt.Fprintln(w, "# Figure 12(b): LDPC BER & decode time vs SNR (Z=104, itr<=5)")
+	fmt.Fprintln(w, "# paper: R=1/3 most expensive but lowest BER, esp. 10-20 dB")
+	snrs := []float64{0, 5, 10, 15, 20, 25, 30}
+	if o.Quick {
+		snrs = []float64{5, 15, 25}
+	}
+	rates := []ldpc.Rate{ldpc.Rate13, ldpc.Rate23, ldpc.Rate89}
+	fmt.Fprintf(w, "%-6s", "R")
+	for _, s := range snrs {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("%gdB", s))
+	}
+	fmt.Fprintln(w, "   (BER | µs/block)")
+	for _, r := range rates {
+		code := ldpc.MustNew(r, 104)
+		fmt.Fprintf(w, "%-6s", r.String())
+		for _, snr := range snrs {
+			ber, t := ldpcPoint(code, 5, blocks, snr, o.Seed)
+			fmt.Fprintf(w, " %5.3f|%4d", ber, t.Microseconds())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/fronthaul"
+	"repro/internal/harness"
+	"repro/internal/ldpc"
+	"repro/internal/modulation"
+	"repro/internal/queue"
+	"repro/internal/workload"
+)
+
+// Table1 verifies the complexity table: per-task cost of each block as a
+// function of M and K, measured on the real engine at two problem sizes.
+func Table1(w io.Writer, o Opt) error {
+	o = o.withDefaults()
+	if o.Workers > runtime.NumCPU() {
+		o.Workers = runtime.NumCPU() // oversubscription inflates per-task wall time
+	}
+	frames := o.frames(3, 10)
+	fmt.Fprintln(w, "# Table 1: per-block parallelism dimension and measured per-task cost")
+	fmt.Fprintln(w, "# paper: FFT O(QlogQ)/antenna; ZF O(MK^2)/group; Demod O(MK)/block; Decode O(L)/user")
+	fmt.Fprintf(w, "%-10s %-12s", "block", "parallel_in")
+	sizes := [][2]int{{8, 2}, {16, 4}, {32, 8}}
+	if o.Quick {
+		sizes = [][2]int{{8, 2}, {16, 4}}
+	}
+	for _, s := range sizes {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("%dx%d", s[0], s[1]))
+	}
+	fmt.Fprintln(w, "  (µs/task)")
+	type row struct {
+		t   queue.TaskType
+		dim string
+	}
+	rows := []row{
+		{queue.TaskPilotFFT, "antenna"},
+		{queue.TaskZF, "subcarrier"},
+		{queue.TaskFFT, "antenna"},
+		{queue.TaskDemod, "subcarrier"},
+		{queue.TaskDecode, "user"},
+	}
+	costs := map[queue.TaskType][]float64{}
+	for _, s := range sizes {
+		cfg := scaledCfg(s[0], s[1])
+		sum, err := harness.RunUplink(cfg, core.Options{Workers: o.Workers},
+			channel.Rayleigh, 25, frames, false, o.Seed)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			costs[r.t] = append(costs[r.t], sum.TaskStats[r.t].MeanUS)
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-12s", blockName(r.t), r.dim)
+		for _, c := range costs[r.t] {
+			fmt.Fprintf(w, " %8.2f", c)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "# expect: FFT ~constant in M,K; ZF grows ~MK^2; Demod ~MK; Decode constant")
+	return nil
+}
+
+// Fig7 reproduces Figure 7: the complementary CDF of uplink processing
+// time for four MIMO configurations. Quick mode scales the OFDM size so
+// a 2-core host finishes in seconds; the configuration ordering — larger
+// MIMO, longer tail — is the result under test.
+func Fig7(w io.Writer, o Opt) error {
+	o = o.withDefaults()
+	frames := o.frames(12, 100)
+	fmt.Fprintln(w, "# Figure 7: CCDF of uplink processing time, four MIMO configs")
+	fmt.Fprintln(w, "# paper (64x16): median 1.19 ms, p99.9 1.29 ms, max 1.36 ms")
+	configs := [][2]int{{16, 4}, {32, 8}, {32, 16}, {64, 16}}
+	if o.Quick {
+		configs = [][2]int{{8, 2}, {16, 4}, {32, 8}}
+	}
+	fmt.Fprintf(w, "%-8s %-10s %-10s %-10s %-10s\n", "MIMO", "median", "p99", "p99.9", "max")
+	var prevMedian time.Duration
+	for _, c := range configs {
+		cfg := scaledCfg(c[0], c[1])
+		if !o.Quick {
+			cfg = fullCfg()
+			cfg.Antennas, cfg.Users = c[0], c[1]
+		}
+		sum, err := harness.RunUplink(cfg, core.Options{Workers: o.Workers},
+			channel.Rayleigh, 25, frames, false, o.Seed)
+		if err != nil {
+			return err
+		}
+		l := sum.Latency
+		fmt.Fprintf(w, "%-8s %-10v %-10v %-10v %-10v\n",
+			fmt.Sprintf("%dx%d", c[0], c[1]),
+			l.Median().Round(time.Microsecond), l.Percentile(99).Round(time.Microsecond),
+			l.P999().Round(time.Microsecond), l.Max().Round(time.Microsecond))
+		_ = prevMedian
+		prevMedian = l.Median()
+	}
+	return nil
+}
+
+// Table3 reproduces Table 3: per-block task counts, per-task cost,
+// batching size and cumulative time for the 64×16 uplink. In Quick mode
+// a scaled 16×4 cell is used and the full-size columns are annotated.
+func Table3(w io.Writer, o Opt) error {
+	o = o.withDefaults()
+	if o.Workers > runtime.NumCPU() {
+		o.Workers = runtime.NumCPU() // oversubscription inflates per-task wall time
+	}
+	frames := o.frames(4, 16)
+	cfg := fullCfg()
+	if o.Quick {
+		cfg = scaledCfg(16, 4)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Table 3: computation cost per block (%s)\n", cfg.String())
+	fmt.Fprintln(w, "# paper (64x16, 1ms): FFT 896 tasks 2.7µs; ZF 75 tasks 21.1µs;")
+	fmt.Fprintln(w, "#   Demod 15600 tasks 0.19µs/SC; Decode 208 tasks 46.5µs")
+	sum, err := harness.RunUplink(cfg, core.Options{Workers: o.Workers},
+		channel.Rayleigh, 25, frames, false, o.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %-12s %-16s %-8s %-14s\n",
+		"block", "tasks/frame", "us_per_task", "batch", "total_ms/frame")
+	batches := map[queue.TaskType]int{
+		queue.TaskPilotFFT: cfg.FFTBatch,
+		queue.TaskZF:       cfg.ZFBatch,
+		queue.TaskFFT:      cfg.FFTBatch,
+		queue.TaskDemod:    cfg.DemodBlockSize,
+		queue.TaskDecode:   1,
+	}
+	for _, t := range []queue.TaskType{queue.TaskPilotFFT, queue.TaskZF,
+		queue.TaskFFT, queue.TaskDemod, queue.TaskDecode} {
+		s := sum.TaskStats[t]
+		fmt.Fprintf(w, "%-10s %-12d %7.2f ± %-6.2f %-8d %-14.2f\n",
+			blockName(t), s.Count/frames, s.MeanUS, s.StdUS,
+			batches[t], s.TotalMS/float64(frames))
+	}
+	var total float64
+	for _, s := range sum.TaskStats {
+		total += s.TotalMS
+	}
+	fmt.Fprintf(w, "cumulative compute across cores: %.2f ms/frame\n", total/float64(frames))
+	return nil
+}
+
+// Table4 reproduces Table 4: the effect of disabling each optimization on
+// median and 99.9th-percentile frame latency.
+func Table4(w io.Writer, o Opt) error {
+	o = o.withDefaults()
+	frames := o.frames(25, 60)
+	// The ablated paths (IQ conversion, FFT-output layout, GEMM kernels)
+	// scale with antennas and subcarriers, so the quick config leans
+	// toward a wide array with cheap decoding.
+	cfg := scaledCfg(32, 4)
+	cfg.OFDMSize = 1024
+	cfg.DataSubcarriers = 600
+	cfg.Order = modulation.QAM64
+	cfg.Rate = ldpc.Rate89
+	if !o.Quick {
+		cfg = fullCfg()
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Table 4: optimization ablations (%s)\n", cfg.String())
+	fmt.Fprintln(w, "# paper: batching 1.64x, memory access 1.40x, NT-store 1.12x,")
+	fmt.Fprintln(w, "#   matrix inverse 1.27x, JIT gemm 1.18x, real-time (tail) 3.71x")
+	fmt.Fprintln(w, "# note: medians carry the signal; p99.9 on a shared 2-core host is")
+	fmt.Fprintln(w, "#   dominated by host-scheduling stalls (the effect the paper's")
+	fmt.Fprintln(w, "#   real-time row isolates with dedicated isolated cores)")
+	type abl struct {
+		name string
+		opts core.Options
+	}
+	// Workers beyond the physical core count make the OS scheduler the
+	// dominant noise source; the paper pins one worker per core.
+	workers := o.Workers
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	base := core.Options{Workers: workers}
+	cases := []abl{
+		{"baseline (all on)", base},
+		{"batching off", with(base, func(op *core.Options) { op.DisableBatching = true })},
+		{"memory access off", with(base, func(op *core.Options) { op.DisableMemOpt = true })},
+		{"direct store off", with(base, func(op *core.Options) { op.DisableDirectStore = true })},
+		{"matrix inverse off", with(base, func(op *core.Options) { op.DisableInverseOpt = true })},
+		{"JIT gemm off", with(base, func(op *core.Options) { op.DisableJITGemm = true })},
+		{"SIMD convert off", with(base, func(op *core.Options) { op.DisableSIMDConvert = true })},
+		{"real-time mode on", with(base, func(op *core.Options) { op.RealTime = true })},
+	}
+	fmt.Fprintf(w, "%-20s %-10s %-8s %-10s %-8s\n", "configuration", "median", "ratio", "p99.9", "ratio")
+	var baseMed, baseTail time.Duration
+	for i, c := range cases {
+		sum, err := harness.RunUplink(cfg, c.opts, channel.Rayleigh, 25, frames, false, o.Seed)
+		if err != nil {
+			return err
+		}
+		med, tail := sum.Latency.Median(), sum.Latency.P999()
+		if i == 0 {
+			baseMed, baseTail = med, tail
+		}
+		fmt.Fprintf(w, "%-20s %-10v %-8.2f %-10v %-8.2f\n", c.name,
+			med.Round(time.Microsecond), ratio(med, baseMed),
+			tail.Round(time.Microsecond), ratio(tail, baseTail))
+	}
+	return nil
+}
+
+func with(o core.Options, f func(*core.Options)) core.Options {
+	f(&o)
+	return o
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Fig9 reproduces Figure 9: worst-user block error rate versus the number
+// of uplink streams with a 64-antenna array, time-orthogonal Zadoff–Chu
+// pilots, line-of-sight channels and 17–26 dB SNR (the paper's
+// over-the-air configuration, here over the LOS channel model).
+func Fig9(w io.Writer, o Opt) error {
+	o = o.withDefaults()
+	frames := o.frames(8, 40)
+	fmt.Fprintln(w, "# Figure 9: worst-user BLER vs users (64 antennas, ZC pilots, LOS, 17-26 dB)")
+	fmt.Fprintln(w, "# paper: BLER below the 10% 5G NR target for 2-8 users")
+	fmt.Fprintf(w, "%-7s %-9s %-12s %-8s\n", "users", "SNR_dB", "worst_BLER", "target")
+	rng := rand.New(rand.NewSource(o.Seed))
+	antennas := 64
+	if o.Quick {
+		antennas = 32
+	}
+	for users := 2; users <= 8; users += 2 {
+		cfg := frame.Config{
+			Antennas:        antennas,
+			Users:           users,
+			OFDMSize:        512,
+			DataSubcarriers: 300,
+			Order:           modulation.QAM64,
+			Rate:            ldpc.Rate13,
+			DecodeIter:      8,
+			Pilots:          frame.TimeOrthogonal,
+			Symbols:         frame.UplinkSchedule(users, 2),
+			ZFGroupSize:     15,
+			DemodBlockSize:  64,
+		}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		snr := 17 + rng.Float64()*9
+		worst, err := worstUserBLER(cfg, o, snr, frames)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-7d %-9.1f %-12.4f <=0.10\n", users, snr, worst)
+	}
+	return nil
+}
+
+// worstUserBLER runs frames with a fresh LOS geometry per frame and
+// returns the worst per-user BLER.
+func worstUserBLER(cfg frame.Config, o Opt, snrDB float64, frames int) (float64, error) {
+	ring := fronthaul.NewRing(8192, fronthaul.PacketSize(cfg.SamplesPerSymbol())+64)
+	gen, err := workload.NewGenerator(cfg, channel.LOS, snrDB, o.Seed)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := core.NewEngine(cfg, core.Options{Workers: o.Workers, KeepBits: true}, ring.Side(1))
+	if err != nil {
+		return 0, err
+	}
+	eng.Start()
+	defer eng.Stop()
+	rru := ring.Side(0)
+	errs := make([]int, cfg.Users)
+	tot := make([]int, cfg.Users)
+	for f := 0; f < frames; f++ {
+		gen.Redraw()
+		if err := gen.EmitFrame(uint32(f), rru.Send); err != nil {
+			return 0, err
+		}
+		var res core.FrameResult
+		select {
+		case res = <-eng.Results():
+		case <-time.After(120 * time.Second):
+			return 0, fmt.Errorf("fig9: frame timeout")
+		}
+		if res.Dropped {
+			continue
+		}
+		for s := 0; s < cfg.NumSymbols(); s++ {
+			if res.Bits[s] == nil {
+				continue
+			}
+			for u := 0; u < cfg.Users; u++ {
+				tot[u]++
+				if !res.OKMask[s][u] || !bytesEq(res.Bits[s][u], gen.TruthBits[u][s]) {
+					errs[u]++
+				}
+			}
+		}
+	}
+	worst := 0.0
+	for u := range errs {
+		if tot[u] == 0 {
+			continue
+		}
+		if b := float64(errs[u]) / float64(tot[u]); b > worst {
+			worst = b
+		}
+	}
+	return worst, nil
+}
+
+func bytesEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+// Package fft implements the OFDM (I)FFT used by the baseband: an
+// iterative radix-2 Cooley–Tukey transform over complex64 samples with
+// precomputed twiddle factors and bit-reversal tables.
+//
+// A Plan is created once per size and is safe for concurrent use by
+// multiple workers as long as each call supplies its own buffer, matching
+// Agora's model where every FFT task owns a disjoint antenna buffer.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan holds the precomputed tables for a fixed power-of-two size.
+type Plan struct {
+	n       int
+	logN    uint
+	rev     []uint32    // bit-reversal permutation
+	twid    []complex64 // forward twiddles, grouped per stage
+	twidInv []complex64 // inverse twiddles
+}
+
+// NewPlan builds a plan for size n, which must be a power of two >= 2.
+func NewPlan(n int) (*Plan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: size %d is not a power of two >= 2", n)
+	}
+	p := &Plan{n: n, logN: uint(bits.TrailingZeros(uint(n)))}
+	p.rev = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = uint32(bits.Reverse32(uint32(i)) >> (32 - p.logN))
+	}
+	// Stage s (half-block size h = 1<<s) uses h twiddles W_{2h}^j.
+	// Total = 1 + 2 + ... + n/2 = n-1.
+	p.twid = make([]complex64, n-1)
+	p.twidInv = make([]complex64, n-1)
+	idx := 0
+	for h := 1; h < n; h *= 2 {
+		for j := 0; j < h; j++ {
+			ang := -math.Pi * float64(j) / float64(h)
+			s, c := math.Sincos(ang)
+			p.twid[idx] = complex(float32(c), float32(s))
+			p.twidInv[idx] = complex(float32(c), float32(-s))
+			idx++
+		}
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan that panics on error, for compile-time-constant sizes.
+func MustPlan(n int) *Plan {
+	p, err := NewPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the transform length.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the in-place DFT of x (len(x) must equal the plan size).
+// No normalization is applied, matching the usual engineering convention.
+func (p *Plan) Forward(x []complex64) {
+	p.transform(x, p.twid)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// normalization so that Inverse(Forward(x)) == x.
+func (p *Plan) Inverse(x []complex64) {
+	p.transform(x, p.twidInv)
+	inv := float32(1) / float32(p.n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
+	}
+}
+
+// InverseNoScale computes the unnormalized inverse DFT. The OFDM TX path
+// uses it with an explicit amplitude constant folded in elsewhere.
+func (p *Plan) InverseNoScale(x []complex64) {
+	p.transform(x, p.twidInv)
+}
+
+func (p *Plan) transform(x []complex64, tw []complex64) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: buffer length %d != plan size %d", len(x), n))
+	}
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(p.rev[i])
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative butterflies. Stage with half-block h combines pairs at
+	// distance h; twiddles for the stage start at offset h-1.
+	for h := 1; h < n; h *= 2 {
+		st := tw[h-1 : 2*h-1]
+		step := 2 * h
+		for base := 0; base < n; base += step {
+			blk := x[base : base+step]
+			for j := 0; j < h; j++ {
+				u := blk[j]
+				v := blk[j+h] * st[j]
+				blk[j] = u + v
+				blk[j+h] = u - v
+			}
+		}
+	}
+}
+
+// DFTNaive computes the O(n^2) reference DFT, used only by tests.
+func DFTNaive(x []complex64) []complex64 {
+	n := len(x)
+	out := make([]complex64, n)
+	for k := 0; k < n; k++ {
+		var accR, accI float64
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s, c := math.Sincos(ang)
+			xr, xi := float64(real(x[t])), float64(imag(x[t]))
+			accR += xr*c - xi*s
+			accI += xr*s + xi*c
+		}
+		out[k] = complex(float32(accR), float32(accI))
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cf"
+)
+
+func randSignal(rng *rand.Rand, n int) []complex64 {
+	x := make([]complex64, n)
+	for i := range x {
+		x[i] = complex(rng.Float32()*2-1, rng.Float32()*2-1)
+	}
+	return x
+}
+
+func TestNewPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 100, -8} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) should fail", n)
+		}
+	}
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := randSignal(rng, n)
+		want := DFTNaive(x)
+		got := append([]complex64(nil), x...)
+		MustPlan(n).Forward(got)
+		if d := cf.MaxAbsDiff(got, want); d > 1e-3*float64(n) {
+			t.Errorf("n=%d: max diff %v", n, d)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{4, 64, 512, 2048} {
+		p := MustPlan(n)
+		x := randSignal(rng, n)
+		y := append([]complex64(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		if d := cf.MaxAbsDiff(x, y); d > 1e-4*math.Sqrt(float64(n)) {
+			t.Errorf("n=%d roundtrip diff %v", n, d)
+		}
+	}
+}
+
+func TestImpulseResponse(t *testing.T) {
+	// FFT of delta function is all ones.
+	n := 128
+	x := make([]complex64, n)
+	x[0] = 1
+	MustPlan(n).Forward(x)
+	for k, v := range x {
+		if math.Abs(float64(real(v))-1) > 1e-5 || math.Abs(float64(imag(v))) > 1e-5 {
+			t.Fatalf("bin %d: %v, want 1", k, v)
+		}
+	}
+}
+
+func TestSingleToneBin(t *testing.T) {
+	// A complex exponential at bin k concentrates all energy at bin k.
+	n, k := 256, 37
+	x := make([]complex64, n)
+	for t2 := 0; t2 < n; t2++ {
+		ang := 2 * math.Pi * float64(k) * float64(t2) / float64(n)
+		s, c := math.Sincos(ang)
+		x[t2] = complex(float32(c), float32(s))
+	}
+	MustPlan(n).Forward(x)
+	for b, v := range x {
+		mag := math.Hypot(float64(real(v)), float64(imag(v)))
+		if b == k {
+			if math.Abs(mag-float64(n)) > 1e-2 {
+				t.Fatalf("bin %d magnitude %v, want %d", b, mag, n)
+			}
+		} else if mag > 1e-2 {
+			t.Fatalf("leakage at bin %d: %v", b, mag)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// Property: energy preserved up to factor n.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(6))
+		x := randSignal(rng, n)
+		te := cf.Energy(x)
+		y := append([]complex64(nil), x...)
+		MustPlan(n).Forward(y)
+		fe := cf.Energy(y) / float64(n)
+		return math.Abs(te-fe) < 1e-2*(1+te)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 128
+	p := MustPlan(n)
+	x := randSignal(rng, n)
+	y := randSignal(rng, n)
+	sum := make([]complex64, n)
+	for i := range sum {
+		sum[i] = x[i] + y[i]
+	}
+	p.Forward(x)
+	p.Forward(y)
+	p.Forward(sum)
+	for i := range sum {
+		x[i] += y[i]
+	}
+	if d := cf.MaxAbsDiff(sum, x); d > 1e-3 {
+		t.Fatalf("linearity violated: %v", d)
+	}
+}
+
+func TestInverseNoScale(t *testing.T) {
+	n := 64
+	p := MustPlan(n)
+	rng := rand.New(rand.NewSource(10))
+	x := randSignal(rng, n)
+	a := append([]complex64(nil), x...)
+	b := append([]complex64(nil), x...)
+	p.InverseNoScale(a)
+	p.Inverse(b)
+	cf.Scale(b, float32(n))
+	if d := cf.MaxAbsDiff(a, b); d > 1e-3 {
+		t.Fatalf("InverseNoScale mismatch: %v", d)
+	}
+}
+
+func TestPlanConcurrentUse(t *testing.T) {
+	p := MustPlan(512)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				x := randSignal(rng, 512)
+				orig := append([]complex64(nil), x...)
+				p.Forward(x)
+				p.Inverse(x)
+				if cf.MaxAbsDiff(x, orig) > 1e-2 {
+					panic("concurrent roundtrip failed")
+				}
+			}
+		}(int64(g))
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+func BenchmarkFFT2048(b *testing.B) {
+	p := MustPlan(2048)
+	x := randSignal(rand.New(rand.NewSource(1)), 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkIFFT2048(b *testing.B) {
+	p := MustPlan(2048)
+	x := randSignal(rand.New(rand.NewSource(1)), 2048)
+	for i := 0; i < b.N; i++ {
+		p.Inverse(x)
+	}
+}

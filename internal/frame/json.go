@@ -1,0 +1,41 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadConfig reads and validates a cell configuration from a JSON file,
+// so the two sides of a deployment (cmd/agora and cmd/rru) can share one
+// definition. Field names match the Config struct; zero-valued fields get
+// the usual Validate defaults.
+func LoadConfig(path string) (Config, error) {
+	var c Config
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("frame: parsing %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return c, fmt.Errorf("frame: %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// SaveConfig writes a validated configuration as indented JSON.
+func SaveConfig(path string, c Config) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

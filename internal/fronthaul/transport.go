@@ -1,0 +1,221 @@
+package fronthaul
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport moves packets between the RRU and Agora. Implementations are
+// safe for one sender goroutine and one receiver goroutine per direction.
+type Transport interface {
+	// Send transmits one packet. The implementation takes ownership of
+	// the buffer until the call returns; callers may reuse it afterwards.
+	Send(pkt []byte) error
+	// Recv blocks until a packet arrives or the transport closes, in
+	// which case ok is false. The returned buffer belongs to the caller;
+	// return it with Release when done to recycle it.
+	Recv() (pkt []byte, ok bool)
+	// Release returns a buffer obtained from Recv to the pool.
+	Release(pkt []byte)
+	// Close shuts the transport down; pending Recv calls unblock.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed transport.
+var ErrClosed = errors.New("fronthaul: transport closed")
+
+// Ring is the in-process transport: a pair of deep buffered channels over
+// preallocated packet buffers, the stand-in for DPDK's kernel-bypass
+// queues (no syscalls, no copies beyond the payload write itself).
+type Ring struct {
+	mtu  int
+	a2b  chan []byte
+	b2a  chan []byte
+	pool sync.Pool
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+// NewRing creates a bidirectional ring with the given per-direction depth
+// and maximum packet size. Use the two Endpoints as the RRU and Agora
+// sides.
+func NewRing(depth, mtu int) *Ring {
+	r := &Ring{
+		mtu:  mtu,
+		a2b:  make(chan []byte, depth),
+		b2a:  make(chan []byte, depth),
+		done: make(chan struct{}),
+	}
+	r.pool.New = func() any { return make([]byte, 0, mtu) }
+	return r
+}
+
+// Endpoint is one side of a Ring.
+type Endpoint struct {
+	r        *Ring
+	tx, rx   chan []byte
+	sendSeal *sync.Once
+}
+
+// Side returns the RRU-facing (side=0) or Agora-facing (side=1) endpoint.
+func (r *Ring) Side(side int) *Endpoint {
+	if side == 0 {
+		return &Endpoint{r: r, tx: r.a2b, rx: r.b2a, sendSeal: &sync.Once{}}
+	}
+	return &Endpoint{r: r, tx: r.b2a, rx: r.a2b, sendSeal: &sync.Once{}}
+}
+
+// Send copies pkt into a pooled buffer and enqueues it. It drops the
+// packet (returning nil) if the ring is full, mirroring NIC-queue
+// overflow semantics rather than blocking the radio.
+func (e *Endpoint) Send(pkt []byte) error {
+	select {
+	case <-e.r.done:
+		return ErrClosed
+	default:
+	}
+	buf := e.r.pool.Get().([]byte)[:len(pkt)]
+	copy(buf, pkt)
+	select {
+	case e.tx <- buf:
+		return nil
+	case <-e.r.done:
+		return ErrClosed
+	default:
+		e.r.pool.Put(buf[:0])
+		return nil // dropped, like a full NIC queue
+	}
+}
+
+// Recv implements Transport.
+func (e *Endpoint) Recv() ([]byte, bool) {
+	select {
+	case pkt := <-e.rx:
+		return pkt, true
+	case <-e.r.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case pkt := <-e.rx:
+			return pkt, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Release implements Transport.
+func (e *Endpoint) Release(pkt []byte) { e.r.pool.Put(pkt[:0]) }
+
+// Close implements Transport; closing either endpoint closes the ring.
+func (e *Endpoint) Close() error {
+	e.r.mu.Lock()
+	defer e.r.mu.Unlock()
+	select {
+	case <-e.r.done:
+	default:
+		close(e.r.done)
+	}
+	return nil
+}
+
+var _ Transport = (*Endpoint)(nil)
+
+// UDP is the cross-process transport used by cmd/rru and cmd/agora. The
+// paper uses one UDP packet per antenna per symbol over a 40 GbE link
+// with DPDK; here the standard net package carries the same format.
+type UDP struct {
+	conn   *net.UDPConn
+	peer   *net.UDPAddr
+	mtu    int
+	pool   sync.Pool
+	closed chan struct{}
+	mu     sync.Mutex
+}
+
+// NewUDP binds a local address and targets peer (which may be nil for a
+// pure receiver; the peer is then learned from the first packet).
+func NewUDP(local string, peer string, mtu int) (*UDP, error) {
+	laddr, err := net.ResolveUDPAddr("udp", local)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	u := &UDP{conn: conn, mtu: mtu, closed: make(chan struct{})}
+	u.pool.New = func() any { return make([]byte, mtu) }
+	if peer != "" {
+		u.peer, err = net.ResolveUDPAddr("udp", peer)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	// Large socket buffers approximate the paper's jumbo-frame NIC rings.
+	_ = conn.SetReadBuffer(8 << 20)
+	_ = conn.SetWriteBuffer(8 << 20)
+	return u, nil
+}
+
+// Send implements Transport.
+func (u *UDP) Send(pkt []byte) error {
+	u.mu.Lock()
+	peer := u.peer
+	u.mu.Unlock()
+	if peer == nil {
+		return errors.New("fronthaul: UDP peer unknown")
+	}
+	_, err := u.conn.WriteToUDP(pkt, peer)
+	return err
+}
+
+// Recv implements Transport.
+func (u *UDP) Recv() ([]byte, bool) {
+	buf := u.pool.Get().([]byte)[:u.mtu]
+	for {
+		_ = u.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, addr, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-u.closed:
+				u.pool.Put(buf)
+				return nil, false
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			u.pool.Put(buf)
+			return nil, false
+		}
+		u.mu.Lock()
+		if u.peer == nil {
+			u.peer = addr
+		}
+		u.mu.Unlock()
+		return buf[:n], true
+	}
+}
+
+// Release implements Transport.
+func (u *UDP) Release(pkt []byte) { u.pool.Put(pkt[:cap(pkt)]) }
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	select {
+	case <-u.closed:
+		return nil
+	default:
+		close(u.closed)
+	}
+	return u.conn.Close()
+}
+
+// LocalAddr returns the bound address, useful with port 0.
+func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+
+var _ Transport = (*UDP)(nil)

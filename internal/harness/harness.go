@@ -1,0 +1,156 @@
+// Package harness drives complete uplink runs — software RRU feeding a
+// real engine over the in-process ring — and aggregates latency and error
+// statistics. Both the public API (package agora) and the experiment
+// suite build on it.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/fronthaul"
+	"repro/internal/queue"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunSummary aggregates a batch uplink run.
+type RunSummary struct {
+	Frames      int
+	Latency     *stats.Reservoir
+	QueueDelay  *stats.Reservoir
+	BlocksOK    int
+	BlocksTotal int
+	BitErrs     int
+	Bits        int
+	Drops       int64
+	TaskStats   map[queue.TaskType]core.TaskStat
+}
+
+// BLER returns the run's block error rate.
+func (r *RunSummary) BLER() float64 {
+	if r.BlocksTotal == 0 {
+		return 0
+	}
+	return float64(r.BlocksTotal-r.BlocksOK) / float64(r.BlocksTotal)
+}
+
+// RunUplink drives nFrames uplink frames from a fresh software RRU
+// through a fresh engine. With realtimePacing the RRU emits at the frame
+// rate; otherwise frames go back-to-back, one in flight at a time (pure
+// processing-speed measurement). With opts.KeepBits set, decoded bits
+// are scored against the generator's ground truth.
+func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
+	snrDB float64, nFrames int, realtimePacing bool, seed int64) (*RunSummary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ring := fronthaul.NewRing(4096, fronthaul.PacketSize(cfg.SamplesPerSymbol())+64)
+	gen, err := workload.NewGenerator(cfg, model, snrDB, seed)
+	if err != nil {
+		return nil, err
+	}
+	checkBits := opts.KeepBits
+	eng, err := core.NewEngine(cfg, opts, ring.Side(1))
+	if err != nil {
+		return nil, err
+	}
+	eng.Start()
+	defer eng.Stop()
+	rru := ring.Side(0)
+	sum := &RunSummary{
+		Latency:    stats.NewReservoir(nFrames),
+		QueueDelay: stats.NewReservoir(nFrames),
+	}
+	frameDur := cfg.FrameDuration()
+	results := eng.Results()
+	recv := func() (core.FrameResult, error) {
+		select {
+		case r := <-results:
+			return r, nil
+		case <-time.After(120 * time.Second):
+			return core.FrameResult{}, fmt.Errorf("harness: frame result timeout")
+		}
+	}
+	// Warm up: a couple of unrecorded frames absorb one-time costs
+	// (goroutine startup, cold caches, lazily built tables) so latency
+	// percentiles describe steady state.
+	const warmup = 2
+	for f := 0; f < warmup; f++ {
+		if err := gen.EmitFrame(uint32(f), rru.Send); err != nil {
+			return sum, err
+		}
+		if _, err := recv(); err != nil {
+			return sum, err
+		}
+	}
+	collect := func(r core.FrameResult) {
+		sum.Frames++
+		if r.Dropped {
+			return
+		}
+		sum.Latency.Add(r.Latency)
+		sum.QueueDelay.Add(r.Start.Sub(r.FirstPkt))
+		sum.BlocksOK += r.BlocksOK
+		sum.BlocksTotal += r.BlocksTotal
+	}
+	if realtimePacing {
+		done := make(chan error, 1)
+		go func() {
+			next := time.Now()
+			for f := 0; f < nFrames; f++ {
+				if err := gen.EmitFrame(uint32(warmup+f), rru.Send); err != nil {
+					done <- err
+					return
+				}
+				next = next.Add(frameDur)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			done <- nil
+		}()
+		for f := 0; f < nFrames; f++ {
+			r, err := recv()
+			if err != nil {
+				return sum, err
+			}
+			collect(r)
+		}
+		if err := <-done; err != nil {
+			return sum, err
+		}
+	} else {
+		for f := 0; f < nFrames; f++ {
+			if err := gen.EmitFrame(uint32(warmup+f), rru.Send); err != nil {
+				return sum, err
+			}
+			r, err := recv()
+			if err != nil {
+				return sum, err
+			}
+			collect(r)
+			if checkBits && !r.Dropped && r.Bits != nil {
+				byUser := make([][][]byte, cfg.Users)
+				for u := 0; u < cfg.Users; u++ {
+					byUser[u] = make([][]byte, cfg.NumSymbols())
+					for s := 0; s < cfg.NumSymbols(); s++ {
+						if r.Bits[s] != nil {
+							byUser[u][s] = r.Bits[s][u]
+						}
+					}
+				}
+				be, bits, _, _ := gen.CompareUplink(byUser)
+				sum.BitErrs += be
+				sum.Bits += bits
+			}
+		}
+	}
+	sum.Drops = eng.Drops()
+	eng.Stop() // quiesce workers before reading their accumulators
+	sum.TaskStats = eng.TaskStats()
+	return sum, nil
+}

@@ -1,0 +1,62 @@
+package ldpc
+
+// 5G NR attaches a CRC to every transport block so the receiver can
+// detect decoding failures that happen to satisfy the LDPC parity checks
+// (undetected errors). This file implements CRC24A from 3GPP TS 38.212
+// §5.1 (generator polynomial x²⁴+x²³+x¹⁸+x¹⁷+x¹⁴+x¹¹+x¹⁰+x⁷+x⁶+x⁵+x⁴+
+// x³+x+1) over the one-bit-per-byte representation the codec uses.
+
+// CRC24Len is the number of CRC bits appended to a block.
+const CRC24Len = 24
+
+// crc24APoly is the 3GPP generator polynomial, low 24 bits (MSB-first
+// processing; the implicit x^24 term is handled by the shift-out).
+const crc24APoly = 0x864CFB
+
+// CRC24A computes the 24-bit CRC over bits (one bit per byte, values 0/1,
+// MSB-first as transmitted).
+func CRC24A(bits []byte) uint32 {
+	var reg uint32
+	for _, b := range bits {
+		reg ^= uint32(b&1) << 23
+		if reg&0x800000 != 0 {
+			reg = (reg << 1) ^ crc24APoly
+		} else {
+			reg <<= 1
+		}
+		reg &= 0xFFFFFF
+	}
+	return reg
+}
+
+// AttachCRC writes payload followed by its CRC24A into dst, which must
+// have length len(payload)+CRC24Len. The result is suitable as the
+// information input of Encode when K() == len(payload)+CRC24Len.
+func AttachCRC(dst, payload []byte) {
+	if len(dst) != len(payload)+CRC24Len {
+		panic("ldpc: AttachCRC dst length mismatch")
+	}
+	copy(dst, payload)
+	crc := CRC24A(payload)
+	for i := 0; i < CRC24Len; i++ {
+		dst[len(payload)+i] = byte(crc>>(CRC24Len-1-i)) & 1
+	}
+}
+
+// CheckCRC verifies a block produced by AttachCRC, returning the payload
+// view and whether the CRC matches.
+func CheckCRC(block []byte) (payload []byte, ok bool) {
+	if len(block) <= CRC24Len {
+		return nil, false
+	}
+	n := len(block) - CRC24Len
+	var got uint32
+	for i := 0; i < CRC24Len; i++ {
+		got = got<<1 | uint32(block[n+i]&1)
+	}
+	return block[:n], CRC24A(block[:n]) == got
+}
+
+// PayloadBits returns how many MAC payload bits fit in one code block of
+// c once the CRC is attached.
+func (c *Code) PayloadBits() int { return c.K() - CRC24Len }

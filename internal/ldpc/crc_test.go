@@ -1,0 +1,115 @@
+package ldpc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRCRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := randInfo(rng, 100+rng.Intn(400))
+		block := make([]byte, len(payload)+CRC24Len)
+		AttachCRC(block, payload)
+		got, ok := CheckCRC(block)
+		if !ok || len(got) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCDetectsEverySingleBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	payload := randInfo(rng, 200)
+	block := make([]byte, len(payload)+CRC24Len)
+	AttachCRC(block, payload)
+	for i := range block {
+		block[i] ^= 1
+		if _, ok := CheckCRC(block); ok {
+			t.Fatalf("single-bit flip at %d undetected", i)
+		}
+		block[i] ^= 1
+	}
+}
+
+func TestCRCDetectsBurstErrors(t *testing.T) {
+	// CRC24 detects all burst errors up to 24 bits.
+	rng := rand.New(rand.NewSource(3))
+	payload := randInfo(rng, 300)
+	block := make([]byte, len(payload)+CRC24Len)
+	AttachCRC(block, payload)
+	for trial := 0; trial < 100; trial++ {
+		start := rng.Intn(len(block) - 24)
+		length := 2 + rng.Intn(23)
+		for i := 0; i < length; i++ {
+			block[start+i] ^= 1
+		}
+		if _, ok := CheckCRC(block); ok {
+			t.Fatalf("burst (%d,%d) undetected", start, length)
+		}
+		for i := 0; i < length; i++ {
+			block[start+i] ^= 1
+		}
+	}
+}
+
+func TestCRCKnownValue(t *testing.T) {
+	// All-zero input gives zero CRC; a lone 1 gives the polynomial
+	// residue, which must be stable across builds.
+	if CRC24A(make([]byte, 100)) != 0 {
+		t.Fatal("CRC of zeros not zero")
+	}
+	one := make([]byte, 25)
+	one[0] = 1
+	a := CRC24A(one)
+	b := CRC24A(one)
+	if a != b || a == 0 {
+		t.Fatalf("CRC unstable or degenerate: %x %x", a, b)
+	}
+}
+
+func TestCheckCRCRejectsShort(t *testing.T) {
+	if _, ok := CheckCRC(make([]byte, 10)); ok {
+		t.Fatal("short block accepted")
+	}
+}
+
+func TestCRCThroughCodec(t *testing.T) {
+	// End to end: payload -> CRC -> LDPC encode -> decode -> CRC check.
+	rng := rand.New(rand.NewSource(4))
+	code := MustNew(Rate23, 104)
+	payload := randInfo(rng, code.PayloadBits())
+	info := make([]byte, code.K())
+	AttachCRC(info, payload)
+	cw := make([]byte, code.N())
+	code.Encode(cw, info)
+	dec := NewDecoder(code)
+	out := make([]byte, code.K())
+	if res := dec.Decode(out, cleanLLR(cw, 8), 5); !res.OK {
+		t.Fatal("decode failed")
+	}
+	got, ok := CheckCRC(out)
+	if !ok {
+		t.Fatal("CRC failed on correct decode")
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("payload bit %d wrong", i)
+		}
+	}
+	// A forced decoding error must be caught by the CRC.
+	out[0] ^= 1
+	if _, ok := CheckCRC(out); ok {
+		t.Fatal("CRC missed a corrupted decode")
+	}
+}

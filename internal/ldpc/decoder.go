@@ -1,0 +1,189 @@
+package ldpc
+
+import "fmt"
+
+// Alg selects the min-sum variant.
+type Alg int
+
+// Min-sum variants. OffsetMinSum is the algorithm the paper's FlexRAN
+// library implements; NormalizedMinSum is scale-invariant in the input
+// LLRs, which makes it the right default inside the pipeline where the
+// demodulator's LLR scale is nominal rather than calibrated.
+const (
+	OffsetMinSum Alg = iota
+	NormalizedMinSum
+)
+
+// Decoder holds the per-worker scratch for iterative decoding of one Code
+// so the hot decode path allocates nothing. A Decoder is not safe for
+// concurrent use; Agora gives each worker its own.
+type Decoder struct {
+	code *Code
+	// Alg selects the check-node update rule.
+	Alg Alg
+	// Offset is the β of offset min-sum (conventional 0.5).
+	Offset float32
+	// Scale is the α of normalized min-sum (conventional 0.75).
+	Scale float32
+	l     []float32 // posterior LLR per variable
+	r     []float32 // check-to-variable message per edge instance
+	hard  []byte    // hard decisions
+	// edge layout: for block-row i, edges are stored layer by layer:
+	// rowOff[i] + e*Z + r for edge index e within the row and check row r.
+	rowOff []int
+}
+
+// NewDecoder allocates scratch for code c.
+func NewDecoder(c *Code) *Decoder {
+	d := &Decoder{code: c, Offset: 0.5, Scale: 0.75}
+	nVar := (KbBlocks + c.Mb) * c.Z
+	d.l = make([]float32, nVar)
+	d.hard = make([]byte, nVar)
+	d.rowOff = make([]int, c.Mb+1)
+	total := 0
+	for i, row := range c.rows {
+		d.rowOff[i] = total
+		total += len(row) * c.Z
+	}
+	d.rowOff[c.Mb] = total
+	d.r = make([]float32, total)
+	return d
+}
+
+// Result summarizes one decode.
+type Result struct {
+	Iterations int  // BP iterations actually run
+	OK         bool // parity satisfied (block decoded successfully)
+}
+
+// Decode runs layered offset min-sum BP on channel LLRs (positive =>
+// bit 0, one per transmitted bit, length N()) for at most maxIter
+// iterations, with early termination once the syndrome is satisfied.
+// The decoded information bits (one per byte) are written to info, which
+// must have length K(). Returns the iteration count and success flag;
+// on failure info holds the best-effort hard decisions.
+func (d *Decoder) Decode(info []byte, llr []float32, maxIter int) Result {
+	c := d.code
+	z := c.Z
+	if len(llr) != c.N() {
+		panic(fmt.Sprintf("ldpc: Decode llr length %d != N %d", len(llr), c.N()))
+	}
+	if len(info) != c.K() {
+		panic(fmt.Sprintf("ldpc: Decode info length %d != K %d", len(info), c.K()))
+	}
+	copy(d.l, llr)
+	for i := range d.r {
+		d.r[i] = 0
+	}
+	res := Result{}
+	for it := 1; it <= maxIter; it++ {
+		res.Iterations = it
+		for i, row := range c.rows {
+			base := d.rowOff[i]
+			deg := len(row)
+			for r := 0; r < z; r++ {
+				// Pass 1: subtract old messages, find min1/min2/sign.
+				var min1, min2 float32 = 3.4e38, 3.4e38
+				minIdx := -1
+				signProd := float32(1)
+				for e := 0; e < deg; e++ {
+					v := row[e].col*z + modAdd(r, row[e].shift, z)
+					q := d.l[v] - d.r[base+e*z+r]
+					d.l[v] = q // temporarily store Q
+					aq := q
+					if aq < 0 {
+						aq = -aq
+						signProd = -signProd
+					}
+					if aq < min1 {
+						min2 = min1
+						min1 = aq
+						minIdx = e
+					} else if aq < min2 {
+						min2 = aq
+					}
+				}
+				var m1, m2 float32
+				if d.Alg == OffsetMinSum {
+					m1 = min1 - d.Offset
+					if m1 < 0 {
+						m1 = 0
+					}
+					m2 = min2 - d.Offset
+					if m2 < 0 {
+						m2 = 0
+					}
+				} else {
+					m1 = min1 * d.Scale
+					m2 = min2 * d.Scale
+				}
+				// Pass 2: write new messages and posteriors.
+				for e := 0; e < deg; e++ {
+					v := row[e].col*z + modAdd(r, row[e].shift, z)
+					q := d.l[v]
+					mag := m1
+					if e == minIdx {
+						mag = m2
+					}
+					s := signProd
+					if q < 0 {
+						s = -s
+					}
+					nr := s * mag
+					d.r[base+e*z+r] = nr
+					d.l[v] = q + nr
+				}
+			}
+		}
+		// Hard decisions + syndrome check for early termination.
+		for v, lv := range d.l {
+			if lv < 0 {
+				d.hard[v] = 1
+			} else {
+				d.hard[v] = 0
+			}
+		}
+		if c.CheckSyndrome(d.hard) {
+			res.OK = true
+			break
+		}
+	}
+	copy(info, d.hard[:c.K()])
+	return res
+}
+
+func modAdd(a, b, z int) int {
+	s := a + b
+	if s >= z {
+		s -= z
+	}
+	return s
+}
+
+// BitsToBytes packs bits (one per byte, MSB first) into bytes; the final
+// partial byte, if any, is zero-padded. Used at the MAC boundary.
+func BitsToBytes(dst []byte, bits []byte) {
+	n := (len(bits) + 7) / 8
+	if len(dst) < n {
+		panic("ldpc: BitsToBytes dst too small")
+	}
+	for i := 0; i < n; i++ {
+		var b byte
+		for k := 0; k < 8; k++ {
+			idx := i*8 + k
+			b <<= 1
+			if idx < len(bits) {
+				b |= bits[idx] & 1
+			}
+		}
+		dst[i] = b
+	}
+}
+
+// BytesToBits unpacks bytes into one-bit-per-byte form (MSB first),
+// writing exactly len(dst) bits.
+func BytesToBits(dst []byte, src []byte) {
+	for i := range dst {
+		dst[i] = (src[i/8] >> (7 - i%8)) & 1
+	}
+}

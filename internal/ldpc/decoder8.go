@@ -1,0 +1,161 @@
+package ldpc
+
+import "fmt"
+
+// Decoder8 is a fixed-point variant of Decoder operating on saturating
+// 8-bit LLRs, the arithmetic the paper's FlexRAN library uses for its
+// AVX-512 kernels. Quantization costs a fraction of a dB of coding gain
+// but halves the working-set size of the dominant baseband block, which
+// is why production decoders use it; the Table/Fig 12 experiments can be
+// reproduced with either decoder.
+type Decoder8 struct {
+	code *Code
+	// Offset is the min-sum β in quantized LLR units (default 1 ≈ 0.25
+	// at the default InScale of 4).
+	Offset int8
+	// InScale converts float LLRs to the int8 domain in QuantizeLLR.
+	InScale float32
+	l       []int16 // posterior (int16 headroom against overflow)
+	r       []int8  // check-to-variable messages
+	hard    []byte
+	rowOff  []int
+}
+
+// NewDecoder8 allocates scratch for code c.
+func NewDecoder8(c *Code) *Decoder8 {
+	d := &Decoder8{code: c, Offset: 1, InScale: 4}
+	nVar := (KbBlocks + c.Mb) * c.Z
+	d.l = make([]int16, nVar)
+	d.hard = make([]byte, nVar)
+	d.rowOff = make([]int, c.Mb+1)
+	total := 0
+	for i, row := range c.rows {
+		d.rowOff[i] = total
+		total += len(row) * c.Z
+	}
+	d.rowOff[c.Mb] = total
+	d.r = make([]int8, total)
+	return d
+}
+
+// QuantizeLLR converts float LLRs to saturating int8 with the decoder's
+// input scale. len(dst) must equal len(llr).
+func (d *Decoder8) QuantizeLLR(dst []int8, llr []float32) {
+	for i, v := range llr {
+		q := v * d.InScale
+		switch {
+		case q > 127:
+			dst[i] = 127
+		case q < -127:
+			dst[i] = -127
+		default:
+			dst[i] = int8(q)
+		}
+	}
+}
+
+const satLLR = 2047 // posterior saturation bound (int16 domain)
+
+func sat16(v int32) int16 {
+	if v > satLLR {
+		return satLLR
+	}
+	if v < -satLLR {
+		return -satLLR
+	}
+	return int16(v)
+}
+
+// Decode runs layered offset min-sum on quantized LLRs (one per
+// transmitted bit, length N()). Semantics match Decoder.Decode.
+func (d *Decoder8) Decode(info []byte, llr []int8, maxIter int) Result {
+	c := d.code
+	z := c.Z
+	if len(llr) != c.N() {
+		panic(fmt.Sprintf("ldpc: Decode8 llr length %d != N %d", len(llr), c.N()))
+	}
+	if len(info) != c.K() {
+		panic(fmt.Sprintf("ldpc: Decode8 info length %d != K %d", len(info), c.K()))
+	}
+	for i, v := range llr {
+		d.l[i] = int16(v)
+	}
+	for i := range d.r {
+		d.r[i] = 0
+	}
+	res := Result{}
+	for it := 1; it <= maxIter; it++ {
+		res.Iterations = it
+		for i, row := range c.rows {
+			base := d.rowOff[i]
+			deg := len(row)
+			for r := 0; r < z; r++ {
+				var min1, min2 int16 = 32767, 32767
+				minIdx := -1
+				neg := false
+				for e := 0; e < deg; e++ {
+					v := row[e].col*z + modAdd(r, row[e].shift, z)
+					q := sat16(int32(d.l[v]) - int32(d.r[base+e*z+r]))
+					d.l[v] = q
+					aq := q
+					if aq < 0 {
+						aq = -aq
+						neg = !neg
+					}
+					if aq < min1 {
+						min2 = min1
+						min1 = aq
+						minIdx = e
+					} else if aq < min2 {
+						min2 = aq
+					}
+				}
+				m1 := min1 - int16(d.Offset)
+				if m1 < 0 {
+					m1 = 0
+				}
+				if m1 > 127 {
+					m1 = 127
+				}
+				m2 := min2 - int16(d.Offset)
+				if m2 < 0 {
+					m2 = 0
+				}
+				if m2 > 127 {
+					m2 = 127
+				}
+				for e := 0; e < deg; e++ {
+					v := row[e].col*z + modAdd(r, row[e].shift, z)
+					q := d.l[v]
+					mag := m1
+					if e == minIdx {
+						mag = m2
+					}
+					s := neg
+					if q < 0 {
+						s = !s
+					}
+					nr := int8(mag)
+					if s {
+						nr = -nr
+					}
+					d.r[base+e*z+r] = nr
+					d.l[v] = sat16(int32(q) + int32(nr))
+				}
+			}
+		}
+		for v, lv := range d.l {
+			if lv < 0 {
+				d.hard[v] = 1
+			} else {
+				d.hard[v] = 0
+			}
+		}
+		if c.CheckSyndrome(d.hard) {
+			res.OK = true
+			break
+		}
+	}
+	copy(info, d.hard[:c.K()])
+	return res
+}

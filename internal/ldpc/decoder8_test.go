@@ -1,0 +1,128 @@
+package ldpc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func quantized(d *Decoder8, llr []float32) []int8 {
+	out := make([]int8, len(llr))
+	d.QuantizeLLR(out, llr)
+	return out
+}
+
+func TestDecode8Noiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, rate := range []Rate{Rate13, Rate23, Rate89} {
+		code := MustNew(rate, 104)
+		dec := NewDecoder8(code)
+		info := randInfo(rng, code.K())
+		cw := make([]byte, code.N())
+		code.Encode(cw, info)
+		out := make([]byte, code.K())
+		res := dec.Decode(out, quantized(dec, cleanLLR(cw, 10)), 5)
+		if !res.OK || res.Iterations != 1 {
+			t.Fatalf("rate %v: %+v", rate, res)
+		}
+		for i := range info {
+			if out[i] != info[i] {
+				t.Fatalf("rate %v: bit %d wrong", rate, i)
+			}
+		}
+	}
+}
+
+func TestDecode8CorrectsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	code := MustNew(Rate13, 104)
+	dec := NewDecoder8(code)
+	info := randInfo(rng, code.K())
+	cw := make([]byte, code.N())
+	code.Encode(cw, info)
+	llr := cleanLLR(cw, 8)
+	n := code.N()
+	for i := 0; i < n/50; i++ {
+		p := rng.Intn(n)
+		llr[p] = -llr[p]
+	}
+	for i := 0; i < 3*n/100; i++ {
+		llr[rng.Intn(n)] = 0
+	}
+	out := make([]byte, code.K())
+	res := dec.Decode(out, quantized(dec, llr), 20)
+	if !res.OK {
+		t.Fatalf("decode8 failed after %d iterations", res.Iterations)
+	}
+	for i := range info {
+		if out[i] != info[i] {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+}
+
+func TestDecode8MatchesFloatOnModerateNoise(t *testing.T) {
+	// Both decoders should succeed on the same moderately noisy blocks;
+	// quantization should not change outcomes at comfortable SNR.
+	rng := rand.New(rand.NewSource(3))
+	code := MustNew(Rate23, 64)
+	df := NewDecoder(code)
+	d8 := NewDecoder8(code)
+	for trial := 0; trial < 10; trial++ {
+		info := randInfo(rng, code.K())
+		cw := make([]byte, code.N())
+		code.Encode(cw, info)
+		llr := cleanLLR(cw, 4)
+		for i := range llr {
+			llr[i] += float32(rng.NormFloat64())
+		}
+		outF := make([]byte, code.K())
+		out8 := make([]byte, code.K())
+		rf := df.Decode(outF, llr, 10)
+		r8 := d8.Decode(out8, quantized(d8, llr), 10)
+		if rf.OK != r8.OK {
+			t.Fatalf("trial %d: float OK=%v int8 OK=%v", trial, rf.OK, r8.OK)
+		}
+		if rf.OK {
+			for i := range outF {
+				if outF[i] != out8[i] {
+					t.Fatalf("trial %d: decoders disagree at bit %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizeLLRSaturates(t *testing.T) {
+	d := NewDecoder8(MustNew(Rate89, 8))
+	out := make([]int8, 4)
+	d.QuantizeLLR(out, []float32{1000, -1000, 0.5, -0.5})
+	if out[0] != 127 || out[1] != -127 || out[2] != 2 || out[3] != -2 {
+		t.Fatalf("quantization wrong: %v", out)
+	}
+}
+
+func TestSat16(t *testing.T) {
+	if sat16(100000) != satLLR || sat16(-100000) != -satLLR || sat16(5) != 5 {
+		t.Fatal("sat16 broken")
+	}
+}
+
+func BenchmarkDecode8R13Z104Iter5(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	code := MustNew(Rate13, 104)
+	dec := NewDecoder8(code)
+	info := randInfo(rng, code.K())
+	cw := make([]byte, code.N())
+	code.Encode(cw, info)
+	llr := cleanLLR(cw, 4)
+	for i := range llr {
+		llr[i] += float32(rng.NormFloat64())
+	}
+	q := quantized(dec, llr)
+	out := make([]byte, code.K())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(out, q, 5)
+	}
+}

@@ -1,0 +1,140 @@
+// Package mat is the complex matrix library underlying equalization and
+// precoding, standing in for Intel MKL in the original Agora. It provides:
+//
+//   - dense complex64 matrices with row-major storage,
+//   - GEMM with a generic kernel plus fully-unrolled size-specialized
+//     kernels selected at plan time (the analogue of MKL's JIT GEMM),
+//   - Gauss–Jordan inversion with partial pivoting (complex128 internally),
+//   - the direct zero-forcing pseudo-inverse W = (HᴴH)⁻¹Hᴴ,
+//   - a one-sided Jacobi SVD and an SVD-based pseudo-inverse (the
+//     numerically-robust-but-slow baseline from paper §4.2),
+//   - condition-number estimation.
+//
+// Matrices are small (K ≤ 64, M ≤ 256) and owned by one task at a time, so
+// no internal locking is needed.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// M is a dense row-major complex64 matrix.
+type M struct {
+	Rows, Cols int
+	Data       []complex64 // len == Rows*Cols
+}
+
+// New allocates an r×c zero matrix.
+func New(r, c int) *M {
+	return &M{Rows: r, Cols: c, Data: make([]complex64, r*c)}
+}
+
+// NewFrom wraps existing storage (len(data) must be r*c).
+func NewFrom(r, c int, data []complex64) *M {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: NewFrom storage %d != %d*%d", len(data), r, c))
+	}
+	return &M{Rows: r, Cols: c, Data: data}
+}
+
+// At returns element (i,j).
+func (m *M) At(i, j int) complex64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *M) Set(i, j int, v complex64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *M) Row(i int) []complex64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *M) Clone() *M {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m (dimensions must match).
+func (m *M) CopyFrom(src *M) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("mat: CopyFrom shape mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero clears the matrix in place.
+func (m *M) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Eye fills m with the identity (must be square).
+func (m *M) Eye() {
+	if m.Rows != m.Cols {
+		panic("mat: Eye on non-square")
+	}
+	m.Zero()
+	for i := 0; i < m.Rows; i++ {
+		m.Set(i, i, 1)
+	}
+}
+
+// ConjTransposeInto writes mᴴ into dst (dst must be Cols×Rows).
+func (m *M) ConjTransposeInto(dst *M) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic("mat: ConjTranspose shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst.Data[j*dst.Cols+i] = complex(real(v), -imag(v))
+		}
+	}
+}
+
+// Random fills m with i.i.d. CN(0,1)/sqrt(2)-per-component entries.
+func (m *M) Random(rng *rand.Rand) {
+	for i := range m.Data {
+		m.Data[i] = complex(float32(rng.NormFloat64()/math.Sqrt2), float32(rng.NormFloat64()/math.Sqrt2))
+	}
+}
+
+// FrobNorm returns the Frobenius norm in float64.
+func (m *M) FrobNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(real(v))*float64(real(v)) + float64(imag(v))*float64(imag(v))
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_{ij} |m_ij - o_ij|.
+func (m *M) MaxAbsDiff(o *M) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("mat: MaxAbsDiff shape mismatch")
+	}
+	var d float64
+	for i, v := range m.Data {
+		if a := cmplx.Abs(complex128(v - o.Data[i])); a > d {
+			d = a
+		}
+	}
+	return d
+}
+
+// String renders a small matrix for debugging.
+func (m *M) String() string {
+	s := fmt.Sprintf("mat %dx%d", m.Rows, m.Cols)
+	if m.Rows*m.Cols <= 64 {
+		for i := 0; i < m.Rows; i++ {
+			s += "\n"
+			for j := 0; j < m.Cols; j++ {
+				s += fmt.Sprintf(" %6.3f%+6.3fi", real(m.At(i, j)), imag(m.At(i, j)))
+			}
+		}
+	}
+	return s
+}

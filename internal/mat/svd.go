@@ -1,0 +1,164 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// SVD computes the thin singular value decomposition A = U·diag(s)·Vᴴ of
+// an m×n matrix with m >= n, using one-sided Jacobi rotations on the
+// columns. It is accurate but roughly an order of magnitude slower than
+// the direct Gram-inverse path — exactly the trade-off the paper measures
+// against MKL's SVD-based pseudo-inverse (§4.2: 135 µs vs 15.8 µs).
+//
+// Returned U is m×n with orthonormal columns, s has length n in
+// decreasing order, V is n×n unitary.
+func SVD(a *M) (u *M, s []float64, v *M) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("mat: SVD requires rows >= cols")
+	}
+	// Work in complex128 column-major for the Jacobi sweeps.
+	cols := make([][]complex128, n)
+	for j := 0; j < n; j++ {
+		cols[j] = make([]complex128, m)
+		for i := 0; i < m; i++ {
+			cols[j][i] = complex128(a.At(i, j))
+		}
+	}
+	vc := make([][]complex128, n)
+	for j := 0; j < n; j++ {
+		vc[j] = make([]complex128, n)
+		vc[j][j] = 1
+	}
+	const maxSweeps = 60
+	tol := 1e-12
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// 2x2 Hermitian block of AᴴA over columns p,q.
+				var app, aqq float64
+				var apq complex128
+				cp, cq := cols[p], cols[q]
+				for i := 0; i < m; i++ {
+					app += real(cp[i])*real(cp[i]) + imag(cp[i])*imag(cp[i])
+					aqq += real(cq[i])*real(cq[i]) + imag(cq[i])*imag(cq[i])
+					apq += cmplx.Conj(cp[i]) * cq[i]
+				}
+				mag := cmplx.Abs(apq)
+				if mag <= tol*math.Sqrt(app*aqq) {
+					continue
+				}
+				off += mag
+				// Complex Jacobi rotation eliminating apq.
+				tau := (aqq - app) / (2 * mag)
+				t := sign(tau) / (math.Abs(tau) + math.Sqrt(1+tau*tau))
+				c := 1 / math.Sqrt(1+t*t)
+				sn := t * c
+				phase := apq / complex(mag, 0)
+				csn := complex(sn, 0) * phase
+				csnC := cmplx.Conj(csn)
+				for i := 0; i < m; i++ {
+					vp, vq := cp[i], cq[i]
+					cp[i] = complex(c, 0)*vp - csnC*vq
+					cq[i] = csn*vp + complex(c, 0)*vq
+				}
+				vpv, vqv := vc[p], vc[q]
+				for i := 0; i < n; i++ {
+					wp, wq := vpv[i], vqv[i]
+					vpv[i] = complex(c, 0)*wp - csnC*wq
+					vqv[i] = csn*wp + complex(c, 0)*wq
+				}
+			}
+		}
+		if off < tol {
+			break
+		}
+	}
+	// Column norms are singular values; normalize to get U.
+	s = make([]float64, n)
+	type pair struct {
+		sv  float64
+		idx int
+	}
+	order := make([]pair, n)
+	for j := 0; j < n; j++ {
+		var e float64
+		for i := 0; i < m; i++ {
+			e += real(cols[j][i])*real(cols[j][i]) + imag(cols[j][i])*imag(cols[j][i])
+		}
+		order[j] = pair{math.Sqrt(e), j}
+	}
+	// Sort descending by singular value (n is tiny; insertion sort).
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && order[k].sv > order[k-1].sv; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	u = New(m, n)
+	v = New(n, n)
+	for jj, pr := range order {
+		j := pr.idx
+		s[jj] = pr.sv
+		invs := 0.0
+		if pr.sv > 0 {
+			invs = 1 / pr.sv
+		}
+		for i := 0; i < m; i++ {
+			u.Set(i, jj, complex64(cols[j][i]*complex(invs, 0)))
+		}
+		for i := 0; i < n; i++ {
+			v.Set(i, jj, complex64(vc[j][i]))
+		}
+	}
+	return u, s, v
+}
+
+// PinvSVDInto computes the Moore–Penrose pseudo-inverse A⁺ = V·S⁺·Uᴴ via
+// the Jacobi SVD, writing the n×m result into dst. Singular values below
+// rcond*s_max are treated as zero. This is the numerically robust baseline
+// for the paper's matrix-inverse ablation.
+func PinvSVDInto(dst, a *M, rcond float64) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic("mat: PinvSVDInto shape mismatch")
+	}
+	u, s, v := SVD(a)
+	n := a.Cols
+	m := a.Rows
+	cut := rcond * s[0]
+	// dst = V * diag(1/s) * Uᴴ
+	for i := 0; i < n; i++ {
+		drow := dst.Row(i)
+		for j := 0; j < m; j++ {
+			var accR, accI float64
+			for k := 0; k < n; k++ {
+				if s[k] <= cut || s[k] == 0 {
+					continue
+				}
+				vv := complex128(v.At(i, k))
+				uu := cmplx.Conj(complex128(u.At(j, k)))
+				t := vv * uu / complex(s[k], 0)
+				accR += real(t)
+				accI += imag(t)
+			}
+			drow[j] = complex(float32(accR), float32(accI))
+		}
+	}
+}
+
+// Cond2 returns the 2-norm condition number s_max/s_min of a (m >= n).
+func Cond2(a *M) float64 {
+	_, s, _ := SVD(a)
+	if s[len(s)-1] == 0 {
+		return math.Inf(1)
+	}
+	return s[0] / s[len(s)-1]
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,191 @@
+package modulation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allOrders = []Order{QPSK, QAM16, QAM64, QAM256}
+
+func TestUnitAverageEnergy(t *testing.T) {
+	for _, o := range allOrders {
+		tab := Get(o)
+		var e float64
+		for s := 0; s < 1<<int(o); s++ {
+			p := tab.Point(s)
+			e += float64(real(p))*float64(real(p)) + float64(imag(p))*float64(imag(p))
+		}
+		e /= float64(int(1) << int(o))
+		if math.Abs(e-1) > 1e-5 {
+			t.Errorf("%v: average energy %v, want 1", o, e)
+		}
+	}
+}
+
+func TestGrayNeighbors(t *testing.T) {
+	// Adjacent PAM levels must differ in exactly one bit (Gray property).
+	for _, o := range allOrders {
+		tab := Get(o)
+		for r := 1; r < len(tab.grayOf); r++ {
+			x := tab.grayOf[r] ^ tab.grayOf[r-1]
+			if x&(x-1) != 0 || x == 0 {
+				t.Errorf("%v: levels %d,%d differ in %b bits", o, r-1, r, x)
+			}
+		}
+	}
+}
+
+func TestModDemodRoundTripNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, o := range allOrders {
+		tab := Get(o)
+		nBits := tab.BitsPerSymbol() * 300
+		bits := make([]byte, nBits)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		sym := make([]complex64, 300)
+		tab.Modulate(sym, bits)
+		out := make([]byte, nBits)
+		tab.Demodulate(out, sym)
+		for i := range bits {
+			if bits[i] != out[i] {
+				t.Fatalf("%v: bit %d flipped without noise", o, i)
+			}
+		}
+	}
+}
+
+func TestModDemodRoundTripSmallNoise(t *testing.T) {
+	// Noise below half the minimum distance must never flip hard decisions.
+	rng := rand.New(rand.NewSource(2))
+	for _, o := range allOrders {
+		tab := Get(o)
+		minDist := 2 * tab.scale
+		nBits := tab.BitsPerSymbol() * 200
+		bits := make([]byte, nBits)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		sym := make([]complex64, 200)
+		tab.Modulate(sym, bits)
+		for i := range sym {
+			dx := (rng.Float32() - 0.5) * 0.9 * minDist / 2
+			dy := (rng.Float32() - 0.5) * 0.9 * minDist / 2
+			sym[i] += complex(dx, dy)
+		}
+		out := make([]byte, nBits)
+		tab.Demodulate(out, sym)
+		for i := range bits {
+			if bits[i] != out[i] {
+				t.Fatalf("%v: bit %d flipped inside decision region", o, i)
+			}
+		}
+	}
+}
+
+func TestSoftDemodSignsMatchHard(t *testing.T) {
+	// Property: sign of max-log LLR agrees with the hard decision.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := allOrders[rng.Intn(len(allOrders))]
+		tab := Get(o)
+		sym := []complex64{complex(rng.Float32()*3-1.5, rng.Float32()*3-1.5)}
+		hard := make([]byte, tab.BitsPerSymbol())
+		tab.Demodulate(hard, sym)
+		soft := make([]float32, tab.BitsPerSymbol())
+		tab.DemodulateSoft(soft, sym, 0.1)
+		for k := range hard {
+			if soft[k] == 0 {
+				continue // tie: point equidistant, either decision fine
+			}
+			// positive LLR => bit 0
+			want := byte(0)
+			if soft[k] < 0 {
+				want = 1
+			}
+			if hard[k] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftDemodMagnitudeScalesWithConfidence(t *testing.T) {
+	tab := Get(QPSK)
+	near := []complex64{complex(0.05, 0.05)}
+	far := []complex64{complex(0.7, 0.7)}
+	llrNear := make([]float32, 2)
+	llrFar := make([]float32, 2)
+	tab.DemodulateSoft(llrNear, near, 0.1)
+	tab.DemodulateSoft(llrFar, far, 0.1)
+	if abs32(llrFar[0]) <= abs32(llrNear[0]) {
+		t.Fatalf("far-point LLR %v not more confident than near %v", llrFar[0], llrNear[0])
+	}
+}
+
+func TestSoftDemodNoiseVarScaling(t *testing.T) {
+	tab := Get(QAM16)
+	sym := []complex64{complex(0.5, -0.2)}
+	a := make([]float32, 4)
+	b := make([]float32, 4)
+	tab.DemodulateSoft(a, sym, 0.1)
+	tab.DemodulateSoft(b, sym, 0.2)
+	for k := range a {
+		if math.Abs(float64(a[k]-2*b[k])) > 1e-4 {
+			t.Fatalf("LLR should scale as 1/noiseVar: %v vs %v", a[k], b[k])
+		}
+	}
+}
+
+func TestAllPointsDistinct(t *testing.T) {
+	for _, o := range allOrders {
+		tab := Get(o)
+		seen := map[complex64]bool{}
+		for s := 0; s < 1<<int(o); s++ {
+			p := tab.Point(s)
+			if seen[p] {
+				t.Fatalf("%v: duplicate constellation point %v", o, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if QAM64.String() != "64-QAM" || Order(3).String() != "Order(3)" {
+		t.Fatal("Order.String broken")
+	}
+}
+
+func abs32(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func BenchmarkModulate64QAM(b *testing.B) {
+	tab := Get(QAM64)
+	bits := make([]byte, 6*1200)
+	sym := make([]complex64, 1200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Modulate(sym, bits)
+	}
+}
+
+func BenchmarkDemodSoft64QAM(b *testing.B) {
+	tab := Get(QAM64)
+	sym := make([]complex64, 1200)
+	llr := make([]float32, 6*1200)
+	for i := 0; i < b.N; i++ {
+		tab.DemodulateSoft(llr, sym, 0.1)
+	}
+}

@@ -1,0 +1,167 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestMsgIsOneCacheLine(t *testing.T) {
+	if s := unsafe.Sizeof(Msg{}); s != 64 {
+		t.Fatalf("Msg is %d bytes, want 64", s)
+	}
+}
+
+func TestFIFOSingleThreaded(t *testing.T) {
+	q := New(8)
+	for i := 0; i < 8; i++ {
+		if !q.TryEnqueue(Msg{TaskIdx: uint16(i)}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.TryEnqueue(Msg{}) {
+		t.Fatal("enqueue succeeded on full queue")
+	}
+	for i := 0; i < 8; i++ {
+		m, ok := q.TryDequeue()
+		if !ok || m.TaskIdx != uint16(i) {
+			t.Fatalf("dequeue %d: ok=%v idx=%d", i, ok, m.TaskIdx)
+		}
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("dequeue succeeded on empty queue")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if New(5).Cap() != 8 || New(8).Cap() != 8 || New(1).Cap() != 2 {
+		t.Fatal("capacity rounding wrong")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New(4)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.TryEnqueue(Msg{Frame: uint32(round), TaskIdx: uint16(i)}) {
+				t.Fatalf("round %d: enqueue failed", round)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			m, ok := q.TryDequeue()
+			if !ok || m.Frame != uint32(round) || m.TaskIdx != uint16(i) {
+				t.Fatalf("round %d: got %+v ok=%v", round, m, ok)
+			}
+		}
+	}
+}
+
+func TestSPMCExactlyOnce(t *testing.T) {
+	// One producer (the manager), many consumers (workers): every message
+	// must be consumed exactly once.
+	const total = 20000
+	const consumers = 4
+	q := New(1024)
+	var got [total]atomic.Int32
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, ok := q.TryDequeue()
+				if ok {
+					got[m.Frame].Add(1)
+				} else if done.Load() && q.Len() == 0 {
+					return
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		for !q.TryEnqueue(Msg{Frame: uint32(i)}) {
+			runtime.Gosched()
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	for i := 0; i < total; i++ {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("message %d consumed %d times", i, n)
+		}
+	}
+}
+
+func TestMPSCExactlyOnce(t *testing.T) {
+	// Many producers (workers' completions), one consumer (the manager).
+	const perProducer = 5000
+	const producers = 4
+	q := New(512)
+	var got [producers * perProducer]atomic.Int32
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				id := uint32(p*perProducer + i)
+				for !q.TryEnqueue(Msg{Frame: id}) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	received := 0
+	for received < producers*perProducer {
+		if m, ok := q.TryDequeue(); ok {
+			got[m.Frame].Add(1)
+			received++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("message %d seen %d times", i, n)
+		}
+	}
+}
+
+func TestTaskTypeString(t *testing.T) {
+	if TaskZF.String() != "ZF" || TaskType(200).String() != "TaskType(200)" {
+		t.Fatal("TaskType.String broken")
+	}
+	if NumTaskTypes != 10 {
+		t.Fatalf("NumTaskTypes = %d", NumTaskTypes)
+	}
+}
+
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	q := New(1024)
+	m := Msg{Type: TaskFFT}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.TryEnqueue(m)
+		q.TryDequeue()
+	}
+}
+
+func BenchmarkContended(b *testing.B) {
+	q := New(4096)
+	b.RunParallel(func(pb *testing.PB) {
+		m := Msg{Type: TaskDemod}
+		for pb.Next() {
+			if !q.TryEnqueue(m) {
+				q.TryDequeue()
+			} else {
+				q.TryDequeue()
+			}
+		}
+	})
+}

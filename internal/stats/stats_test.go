@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	r := NewReservoir(100)
+	for i := 1; i <= 100; i++ {
+		r.Add(time.Duration(i))
+	}
+	if m := r.Median(); m != 50 {
+		t.Fatalf("median %v, want 50", m)
+	}
+	if p := r.Percentile(99); p != 99 {
+		t.Fatalf("p99 %v", p)
+	}
+	if p := r.P999(); p != 100 {
+		t.Fatalf("p99.9 %v", p)
+	}
+	if r.Max() != 100 || r.Count() != 100 {
+		t.Fatal("max/count wrong")
+	}
+	if r.Mean() != time.Duration(50)+time.Duration(500*time.Nanosecond/time.Nanosecond)/1000 && r.Mean() != 50 {
+		// mean of 1..100 = 50.5, truncated to 50ns
+		if r.Mean() < 50 || r.Mean() > 51 {
+			t.Fatalf("mean %v", r.Mean())
+		}
+	}
+}
+
+func TestEmptyReservoir(t *testing.T) {
+	r := NewReservoir(0)
+	if r.Median() != 0 || r.Max() != 0 || r.Mean() != 0 {
+		t.Fatal("empty reservoir should return zeros")
+	}
+	v, p := r.CCDF()
+	if v != nil || p != nil {
+		t.Fatal("empty CCDF should be nil")
+	}
+}
+
+func TestAddAfterQueryResorts(t *testing.T) {
+	r := NewReservoir(4)
+	r.Add(5)
+	_ = r.Median()
+	r.Add(1)
+	if r.Percentile(0) != 1 {
+		t.Fatal("reservoir did not re-sort after Add")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	r := NewReservoir(4)
+	for _, d := range []time.Duration{10, 20, 20, 40} {
+		r.Add(d)
+	}
+	vals, prob := r.CCDF()
+	want := map[time.Duration]float64{10: 0.75, 20: 0.25, 40: 0}
+	if len(vals) != 3 {
+		t.Fatalf("CCDF vals %v", vals)
+	}
+	for i, v := range vals {
+		if math.Abs(prob[i]-want[v]) > 1e-12 {
+			t.Fatalf("CCDF P(X>%v) = %v, want %v", v, prob[i], want[v])
+		}
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir(1000)
+	for i := 0; i < 1000; i++ {
+		r.Add(time.Duration(rng.Intn(500)))
+	}
+	vals, prob := r.CCDF()
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] || prob[i] > prob[i-1] {
+			t.Fatal("CCDF not monotone")
+		}
+	}
+}
+
+func TestAccWelford(t *testing.T) {
+	var a Acc
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if a.N() != 8 || math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %v", a.Mean())
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if math.Abs(a.Std()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std %v", a.Std())
+	}
+	var empty Acc
+	if empty.Std() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty Acc should be zero")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	r := NewReservoir(2)
+	r.Add(time.Millisecond)
+	r.Add(2 * time.Millisecond)
+	s := r.Summary()
+	if s == "" || len(s) > 120 {
+		t.Fatalf("summary %q", s)
+	}
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+)
+
+func TestGainsPerAntennaDiffer(t *testing.T) {
+	gen, err := NewGenerator(testCfg(), channel.Rayleigh, 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, g := range gen.gains[1:] {
+		if g != gen.gains[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("per-antenna gains identical; normalization not applied")
+	}
+	before := append([]float32(nil), gen.gains...)
+	gen.Evolve(0.5)
+	changed := false
+	for i := range before {
+		if before[i] != gen.gains[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("Evolve did not recompute gains")
+	}
+}
+
+func TestSelectiveGeneratorEmits(t *testing.T) {
+	gen, err := NewGenerator(testCfg(), channel.Rayleigh, 25, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.SetSelective(4)
+	if gen.Selective() == nil || gen.Selective().DelaySpread() != 4 {
+		t.Fatal("selective mode not active")
+	}
+	n := 0
+	if err := gen.EmitFrame(0, func([]byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no packets emitted in selective mode")
+	}
+	// Redraw keeps selective mode.
+	gen.Redraw()
+	if gen.Selective() == nil {
+		t.Fatal("Redraw dropped selective mode")
+	}
+}

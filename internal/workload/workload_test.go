@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cf"
+	"repro/internal/channel"
+	"repro/internal/fft"
+	"repro/internal/frame"
+	"repro/internal/fronthaul"
+	"repro/internal/ldpc"
+	"repro/internal/modulation"
+)
+
+func testCfg() frame.Config {
+	return frame.Config{
+		Antennas:        4,
+		Users:           2,
+		OFDMSize:        128,
+		DataSubcarriers: 64,
+		Order:           modulation.QPSK,
+		Rate:            ldpc.Rate89,
+		DecodeIter:      5,
+		Pilots:          frame.FreqOrthogonal,
+		Symbols:         "PU",
+		ZFGroupSize:     8,
+		DemodBlockSize:  16,
+	}
+}
+
+func TestEmitFramePacketInventory(t *testing.T) {
+	gen, err := NewGenerator(testCfg(), channel.Rayleigh, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ sym, ant int }
+	seen := map[key]int{}
+	err = gen.EmitFrame(5, func(pkt []byte) error {
+		var h fronthaul.Header
+		if err := h.Decode(pkt); err != nil {
+			t.Fatalf("bad packet: %v", err)
+		}
+		if h.Frame != 5 || h.Dir != fronthaul.DirUplink {
+			t.Fatalf("bad header %+v", h)
+		}
+		if int(h.Samples) != gen.Cfg.SamplesPerSymbol() {
+			t.Fatalf("samples %d", h.Samples)
+		}
+		seen[key{int(h.Symbol), int(h.Antenna)}]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One packet per antenna per pilot+uplink symbol.
+	if len(seen) != 2*4 {
+		t.Fatalf("got %d distinct packets, want 8", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("packet %v emitted %d times", k, n)
+		}
+	}
+}
+
+func TestTruthBitsRecorded(t *testing.T) {
+	gen, err := NewGenerator(testCfg(), channel.Rayleigh, 25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.EmitFrame(0, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	k := gen.Cfg.Code().K()
+	for u := 0; u < gen.Cfg.Users; u++ {
+		if gen.TruthBits[u][0] != nil {
+			t.Fatal("truth recorded for pilot symbol")
+		}
+		if len(gen.TruthBits[u][1]) != k {
+			t.Fatalf("user %d: truth bits %d, want %d", u, len(gen.TruthBits[u][1]), k)
+		}
+	}
+}
+
+func TestCompareUplinkCounts(t *testing.T) {
+	gen, err := NewGenerator(testCfg(), channel.Rayleigh, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.EmitFrame(0, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Perfect copy -> zero errors.
+	decoded := make([][][]byte, gen.Cfg.Users)
+	for u := range decoded {
+		decoded[u] = make([][]byte, gen.Cfg.NumSymbols())
+		decoded[u][1] = append([]byte(nil), gen.TruthBits[u][1]...)
+	}
+	be, bits, ble, blocks := gen.CompareUplink(decoded)
+	if be != 0 || ble != 0 || bits == 0 || blocks != 2 {
+		t.Fatalf("perfect copy: %d/%d bit, %d/%d block", be, bits, ble, blocks)
+	}
+	// One flipped bit -> 1 bit error, 1 block error.
+	decoded[0][1][0] ^= 1
+	be, _, ble, _ = gen.CompareUplink(decoded)
+	if be != 1 || ble != 1 {
+		t.Fatalf("after flip: %d bit errs, %d block errs", be, ble)
+	}
+	// Missing block counts fully errored.
+	decoded[1][1] = nil
+	be, _, ble, _ = gen.CompareUplink(decoded)
+	if ble != 2 || be != 1+gen.Cfg.Code().K() {
+		t.Fatalf("missing block: %d bit errs, %d block errs", be, ble)
+	}
+}
+
+func TestPilotSchemes(t *testing.T) {
+	cfg := testCfg()
+	gen, err := NewGenerator(cfg, channel.Rayleigh, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := gen.PilotFreq(0, 0)
+	p1 := gen.PilotFreq(1, 0)
+	for sc := range p0 {
+		if p0[sc] != 0 && p1[sc] != 0 {
+			t.Fatalf("freq-orth pilots collide at sc %d", sc)
+		}
+	}
+	cfg.Pilots = frame.TimeOrthogonal
+	cfg.Symbols = frame.UplinkSchedule(2, 2)
+	gen2, err := NewGenerator(cfg, channel.LOS, 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0 silent on user 1's pilot symbol and vice versa.
+	z := gen2.PilotFreq(0, 1)
+	for _, v := range z {
+		if v != 0 {
+			t.Fatal("user 0 transmits on user 1's pilot symbol")
+		}
+	}
+	if got := gen2.PilotFreq(1, 1); got[0] == 0 {
+		t.Fatal("user 1 silent on own pilot symbol")
+	}
+}
+
+// TestSignalSNR verifies the emitted packets carry roughly the requested
+// SNR: decode one antenna's pilot symbol and measure signal vs noise by
+// comparing two emissions with the same channel but different noise.
+func TestSignalChainSelfConsistent(t *testing.T) {
+	cfg := testCfg()
+	cfg.Symbols = "PU"
+	gen, err := NewGenerator(cfg, channel.Identity, 40, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the identity channel, antenna 0 receives exactly user 0's
+	// signal; its pilot FFT should match user 0's pilot pattern.
+	var pilotPkt []byte
+	err = gen.EmitFrame(0, func(pkt []byte) error {
+		var h fronthaul.Header
+		_ = h.Decode(pkt)
+		if h.Symbol == 0 && h.Antenna == 0 {
+			pilotPkt = append([]byte(nil), pkt...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pilotPkt == nil {
+		t.Fatal("no pilot packet for antenna 0")
+	}
+	var h fronthaul.Header
+	if err := h.Decode(pilotPkt); err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]complex64, h.Samples)
+	cf.UnpackIQ12(samples, fronthaul.Payload(pilotPkt, &h))
+	plan := fft.MustPlan(cfg.OFDMSize)
+	plan.Forward(samples)
+	band := samples[cfg.DataStart() : cfg.DataStart()+cfg.DataSubcarriers]
+	pilot := gen.PilotFreq(0, 0)
+	// User 0's pilot subcarriers should carry energy; others ~ noise.
+	var on, off float64
+	var nOn, nOff int
+	for sc := range band {
+		e := float64(real(band[sc]))*float64(real(band[sc])) +
+			float64(imag(band[sc]))*float64(imag(band[sc]))
+		if pilot[sc] != 0 {
+			on += e
+			nOn++
+		} else {
+			off += e
+			nOff++
+		}
+	}
+	if nOn == 0 || nOff == 0 {
+		t.Fatal("degenerate pilot pattern")
+	}
+	if on/float64(nOn) < 50*off/float64(nOff) {
+		t.Fatalf("pilot energy not concentrated: on=%v off=%v", on/float64(nOn), off/float64(nOff))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	digest := func(seed int64) []byte {
+		gen, err := NewGenerator(testCfg(), channel.Rayleigh, 20, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum []byte
+		_ = gen.EmitFrame(0, func(pkt []byte) error {
+			sum = append(sum, pkt[:80]...)
+			return nil
+		})
+		return sum
+	}
+	a := digest(99)
+	b := digest(99)
+	c := digest(100)
+	if string(a) != string(b) {
+		t.Fatal("same seed, different output")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seed, same output")
+	}
+}
+
+func BenchmarkEmitFrame64x16(b *testing.B) {
+	cfg := frame.Default64x16()
+	gen, err := NewGenerator(cfg, channel.Rayleigh, 25, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := func([]byte) error { return nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gen.EmitFrame(uint32(i), sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
