@@ -1,0 +1,35 @@
+# Tier-1 gate: everything `make check` runs must stay green. CI and the
+# stacked-PR driver both treat a check failure as a broken build.
+
+GO ?= go
+
+.PHONY: check vet build test race bench baseline clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode race pass over the concurrency-heavy packages: the MPMC
+# queues and the manager-worker engine are where a data race would hide.
+race:
+	$(GO) test -race -short ./internal/queue ./internal/core
+
+# Key benchmarks (the ones BENCH_BASELINE.json regression checks target).
+bench:
+	$(GO) test -run '^$$' -bench 'Table1|Fig9|Table4' -benchmem -count 5 .
+
+# Re-snapshot the benchmark suite into BENCH_BASELINE.json. Only commit
+# the result when intentionally moving the baseline (e.g. after a perf PR).
+baseline:
+	$(GO) run ./cmd/bench -baseline -baseline-count 5
+
+clean:
+	$(GO) clean
+	rm -f bench repro.test

@@ -188,7 +188,8 @@ func BenchmarkTable4_AllOptimizationsOn(b *testing.B) {
 func BenchmarkTable4_AllOptimizationsOff(b *testing.B) {
 	benchFrame(b, laptopCfg(), Options{Workers: 2,
 		DisableBatching: true, DisableMemOpt: true, DisableDirectStore: true,
-		DisableInverseOpt: true, DisableJITGemm: true, DisableSIMDConvert: true})
+		DisableInverseOpt: true, DisableJITGemm: true, DisableBlockGemm: true,
+		DisableSIMDConvert: true})
 }
 
 // BenchmarkTable5_ServerProfiles runs the cost-scaled profile comparison.

@@ -8,6 +8,13 @@
 // or figure plus the paper's numbers for comparison. Quick mode (default)
 // scales problem sizes so the suite finishes in minutes on a small host;
 // -full runs the paper-size configurations.
+//
+// It can also snapshot the Go benchmark suite into a machine-readable
+// baseline for regression tracking:
+//
+//	go run ./cmd/bench -baseline                       # run suite, write BENCH_BASELINE.json
+//	go run ./cmd/bench -baseline -baseline-count 5     # 5 samples/benchmark, medians recorded
+//	go run ./cmd/bench -baseline -baseline-input a.txt # parse saved `go test -bench` output
 package main
 
 import (
@@ -27,8 +34,23 @@ func main() {
 		frames  = flag.Int("frames", 0, "override frames/blocks per measurement point")
 		workers = flag.Int("workers", 0, "override real-engine worker count")
 		seed    = flag.Int64("seed", 1, "workload seed")
+
+		baseline  = flag.Bool("baseline", false, "snapshot the Go benchmark suite to a JSON baseline and exit")
+		blPattern = flag.String("baseline-bench", ".", "benchmark regexp passed to go test -bench")
+		blCount   = flag.Int("baseline-count", 5, "samples per benchmark (medians are recorded)")
+		blNote    = flag.String("baseline-note", "", "free-form provenance note stored in the baseline")
+		blOut     = flag.String("baseline-out", "BENCH_BASELINE.json", "output path ('-' for stdout)")
 	)
+	var blInputs multiFlag
+	flag.Var(&blInputs, "baseline-input", "parse saved `go test -bench -benchmem` output instead of running (repeatable)")
 	flag.Parse()
+	if *baseline {
+		if err := runBaseline(blInputs, *blPattern, *blCount, *blNote, *blOut); err != nil {
+			fmt.Fprintf(os.Stderr, "baseline failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "usage: bench -exp <id>|all [-full] [-frames N] [-workers N]")
 		fmt.Fprintln(os.Stderr, "experiments:", strings.Join(experiments.Names(), ", "))
@@ -54,3 +76,9 @@ func main() {
 		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 }
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

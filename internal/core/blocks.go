@@ -27,6 +27,18 @@ type worker struct {
 	symLLR  []float32   // per-subcarrier LLR scratch
 	bitsBuf []byte      // per-subcarrier modulation bits scratch
 
+	// Blocked-kernel scratch: the BLAS-3 path multiplies whole
+	// multi-subcarrier tiles instead of one matvec per subcarrier. The
+	// mat.M headers are worker fields so wrapping a buffer region is a
+	// field assignment, not an allocation.
+	blockMul    mat.BlockKernel // K-row plan for equalization
+	blockMulPre mat.BlockKernel // B-row plan for precoding
+	xblk        []complex64     // K×B equalized tile, user-major
+	modBlk      []complex64     // K×B modulated tile, user-major
+	xtBlk       []complex64     // B×K transpose of modBlk (kernel w operand)
+	ytM, xbM    mat.M           // demod: subcarrier block wrap, output tile
+	xtM, outM   mat.M           // precode: symbol tile, downlink grid wrap
+
 	dec    *ldpc.Decoder
 	zfws   *mat.ZFWorkspace
 	matvec mat.MatVecKernel
@@ -59,6 +71,18 @@ func newWorker(id int, e *Engine) *worker {
 		tab:     modulation.Get(cfg.Order),
 		code:    e.code,
 	}
+	// Blocked-kernel plans and tile scratch. A demod tile spans at most one
+	// ZF group (it must share an equalizer) and at most one demod block; a
+	// precode tile spans one ZF group. maxB covers both.
+	maxB := cfg.DemodBlockSize
+	if cfg.ZFGroupSize > maxB {
+		maxB = cfg.ZFGroupSize
+	}
+	w.blockMul = mat.PlanBlockMul(!e.opts.DisableJITGemm, cfg.Users)
+	w.blockMulPre = mat.PlanBlockMul(!e.opts.DisableJITGemm, cfg.ZFGroupSize)
+	w.xblk = make([]complex64, cfg.Users*maxB)
+	w.modBlk = make([]complex64, cfg.Users*maxB)
+	w.xtBlk = make([]complex64, maxB*cfg.Users)
 	w.dec = ldpc.NewDecoder(e.code)
 	w.dec.Alg = ldpc.NormalizedMinSum
 	if e.opts.DisableSIMDConvert {
@@ -203,28 +227,75 @@ func (w *worker) runFFT(slot int, sym, ant uint16) {
 	}
 }
 
+// nominalNoise is the noise variance handed to soft demodulation; the
+// normalized min-sum decoder is scale invariant so a fixed value suffices.
+const nominalNoise = 0.1
+
 // runDemod is the fused equalization + soft demodulation block: one task
 // covers DemodBlockSize consecutive subcarriers of one uplink symbol and
 // writes every user's LLRs for those subcarriers.
+//
+// The default path is blocked (BLAS-3): each ZF-group-aligned sub-block of
+// B subcarriers is one MulBlockInto call — the subcarrier-major FFT output
+// region [lo*M, hi*M) is wrapped in place as the B×M transposed operand —
+// followed by one batched demodulation call per user covering the whole
+// tile. DisableBlockGemm (and the layouts that preclude it) falls back to
+// the historical per-subcarrier matvec loop.
 func (w *worker) runDemod(slot int, sym uint16, block int) {
+	e := w.eng
+	cfg := &e.cfg
+	lo := block * cfg.DemodBlockSize
+	hi := lo + cfg.DemodBlockSize
+	if hi > cfg.DataSubcarriers {
+		hi = cfg.DataSubcarriers
+	}
+	if hi > e.scUsed {
+		hi = e.scUsed // padding region carries no code bits
+	}
+	if hi <= lo {
+		return
+	}
+	if e.opts.DisableBlockGemm || e.opts.DisableMemOpt || e.opts.DummyKernels {
+		w.runDemodScalar(slot, sym, lo, hi)
+		return
+	}
+	b := e.buf
+	m := cfg.Antennas
+	k := cfg.Users
+	order := int(cfg.Order)
+	for s0 := lo; s0 < hi; {
+		g := s0 / cfg.ZFGroupSize
+		s1 := (g + 1) * cfg.ZFGroupSize
+		if s1 > hi {
+			s1 = hi
+		}
+		nb := s1 - s0
+		w.ytM = mat.M{Rows: nb, Cols: m, Data: b.dataFreqSC[slot][sym][s0*m : s1*m]}
+		w.xbM = mat.M{Rows: k, Cols: nb, Data: w.xblk[:k*nb]}
+		w.blockMul(&w.xbM, b.eq[slot][g], &w.ytM)
+		// Row u of the output tile holds user u's equalized symbols for
+		// [s0,s1); their LLRs occupy the contiguous span [s0*order,
+		// s1*order) of the user's LLR buffer, so demodulation writes the
+		// decoder input directly with no per-subcarrier staging.
+		for u := 0; u < k; u++ {
+			w.tab.DemodulateSoftBlock(b.llr[slot][sym][u][s0*order:s1*order],
+				w.xblk[u*nb:(u+1)*nb], nominalNoise)
+		}
+		s0 = s1
+	}
+}
+
+// runDemodScalar is the per-subcarrier demod path over [lo, hi): one
+// gather, one matvec and one per-symbol demodulation per subcarrier.
+func (w *worker) runDemodScalar(slot int, sym uint16, lo, hi int) {
 	e := w.eng
 	cfg := &e.cfg
 	b := e.buf
 	q := cfg.DataSubcarriers
 	m := cfg.Antennas
 	k := cfg.Users
-	lo := block * cfg.DemodBlockSize
-	hi := lo + cfg.DemodBlockSize
-	if hi > q {
-		hi = q
-	}
 	order := int(cfg.Order)
-	scUsed := e.scUsed
-	const nominalNoise = 0.1 // normalized min-sum is scale invariant
 	for sc := lo; sc < hi; sc++ {
-		if sc >= scUsed {
-			break // padding region carries no code bits
-		}
 		// Gather received vector y across antennas.
 		if e.opts.DisableMemOpt {
 			src := b.dataFreqAnt[slot][sym]
@@ -288,11 +359,48 @@ func (w *worker) runEncode(slot int, sym uint16, user int) {
 // one subcarrier group of one downlink symbol. preSlot selects which
 // frame's precoder to apply: normally the frame's own slot, but with the
 // §3.4.2 stale-precoder optimization it is the previous frame's slot.
+//
+// The default path is blocked: each user's symbols for the whole group are
+// modulated in one ModulateBlock call, the tile is transposed to B×K, and
+// a single MulBlockInto against the M×K precoder writes the group's B×M
+// region of the subcarrier-major downlink grid in place.
 func (w *worker) runPrecode(slot int, sym uint16, g int, preSlot int) {
 	e := w.eng
 	cfg := &e.cfg
 	b := e.buf
 	lo, hi := b.groupBounds(g)
+	if e.opts.DisableBlockGemm || e.opts.DummyKernels {
+		w.runPrecodeScalar(slot, sym, lo, hi, preSlot, g)
+		return
+	}
+	m := cfg.Antennas
+	k := cfg.Users
+	nb := hi - lo
+	n := e.code.N()
+	for u := 0; u < k; u++ {
+		// Bits beyond the codeword zero-pad, matching the scalar path.
+		w.tab.ModulateBlock(w.modBlk[u*nb:(u+1)*nb], b.encoded[slot][sym][u][:n], lo)
+	}
+	// Transpose the user-major tile to subcarrier rows: the kernel's w
+	// operand is B×K with row j holding every user's symbol on subcarrier
+	// lo+j.
+	for u := 0; u < k; u++ {
+		src := w.modBlk[u*nb : (u+1)*nb]
+		for j, v := range src {
+			w.xtBlk[j*k+u] = v
+		}
+	}
+	w.xtM = mat.M{Rows: nb, Cols: k, Data: w.xtBlk[:nb*k]}
+	w.outM = mat.M{Rows: nb, Cols: m, Data: b.dlFreq[slot][sym][lo*m : hi*m]}
+	// dlFreq[sc][a] = Σ_u Xt[sc][u] · pre[a][u]: exactly dst = w·ytᵀ.
+	w.blockMulPre(&w.outM, &w.xtM, b.pre[preSlot][g])
+}
+
+// runPrecodeScalar is the per-subcarrier modulation + precoding path.
+func (w *worker) runPrecodeScalar(slot int, sym uint16, lo, hi, preSlot, g int) {
+	e := w.eng
+	cfg := &e.cfg
+	b := e.buf
 	m := cfg.Antennas
 	k := cfg.Users
 	order := int(cfg.Order)

@@ -94,7 +94,8 @@ type Engine struct {
 	}
 	frames      map[uint32]*frameState
 	pendingRx   map[uint32]pendingFrame
-	outstanding int // tasks enqueued but not completed
+	ghosts      map[uint32]time.Time // rejected-at-admission frames awaiting a Dropped result
+	outstanding int                  // tasks enqueued but not completed
 	txSeq       uint64
 }
 
@@ -169,6 +170,7 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 		mgrDone:     make(chan struct{}),
 		frames:      make(map[uint32]*frameState),
 		pendingRx:   make(map[uint32]pendingFrame),
+		ghosts:      make(map[uint32]time.Time),
 	}
 	var err error
 	e.plan, err = fft.NewPlan(cfg.OFDMSize)
@@ -186,17 +188,70 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 			e.rxSeen[s][sym] = make([]atomic.Bool, cfg.Antennas)
 		}
 	}
-	for t := queue.TaskType(0); t < queue.NumTaskTypes; t++ {
-		e.taskQ[t] = queue.New(opts.QueueDepth)
+	if opts.QueueDepth > 0 {
+		for t := queue.TaskType(0); t < queue.NumTaskTypes; t++ {
+			e.taskQ[t] = queue.New(opts.QueueDepth)
+		}
+		e.compQ = queue.New(opts.QueueDepth)
+		e.rxQ = queue.New(opts.QueueDepth)
+	} else {
+		task, rx, comp := e.queueDepths()
+		for t := queue.TaskType(0); t < queue.NumTaskTypes; t++ {
+			e.taskQ[t] = queue.New(task[t])
+		}
+		e.compQ = queue.New(comp)
+		e.rxQ = queue.New(rx)
 	}
-	e.compQ = queue.New(opts.QueueDepth)
-	e.rxQ = queue.New(opts.QueueDepth)
 	e.initMACPattern()
 	e.buildPollOrders()
 	for i := 0; i < opts.Workers; i++ {
 		e.workers = append(e.workers, newWorker(i, e))
 	}
 	return e, nil
+}
+
+// queueDepths derives per-queue message capacities from the frame
+// geometry. Each task type has a hard per-frame bound on the number of
+// messages it can have in flight (a message carries >= 1 task), so sizing
+// a queue at that bound times the slot count — doubled for headroom and
+// floored for degenerate geometries — is provably enough, and for the
+// paper's cell sizes is one to two orders of magnitude smaller than a
+// uniform worst-case depth. queue.New rounds each figure up to a power of
+// two.
+func (e *Engine) queueDepths() (task [queue.NumTaskTypes]int, rx, comp int) {
+	cfg := &e.cfg
+	m := cfg.Antennas
+	k := cfg.Users
+	g := cfg.ZFGroups()
+	p := cfg.NumPilots()
+	ul := cfg.NumUplink()
+	dl := cfg.NumDownlink()
+	task[queue.TaskPilotFFT] = p * m
+	task[queue.TaskZF] = g
+	task[queue.TaskFFT] = ul * m
+	task[queue.TaskDemod] = ul * e.demodBlocksUsed()
+	task[queue.TaskDecode] = ul * k
+	task[queue.TaskEncode] = dl * k
+	task[queue.TaskPrecode] = dl * g
+	task[queue.TaskIFFT] = dl * m
+	task[queue.TaskPacketTX] = dl * m
+	total := 0
+	for _, n := range task {
+		total += n
+	}
+	scale := func(n int) int {
+		n *= e.opts.Slots * 2
+		if n < 64 {
+			n = 64
+		}
+		return n
+	}
+	for t := range task {
+		task[t] = scale(task[t])
+	}
+	rx = scale((p + ul) * m)
+	comp = scale(total)
+	return task, rx, comp
 }
 
 // initMACPattern fills the downlink payload for every slot once; the
@@ -464,9 +519,11 @@ func (e *Engine) acceptPacket(pkt []byte) error {
 	case 0:
 		if !e.slotOwner[slot].CompareAndSwap(0, h.Frame+1) &&
 			e.slotOwner[slot].Load() != h.Frame+1 {
+			e.notifyGhost(h.Frame)
 			return fmt.Errorf("core: slot %d contended", slot)
 		}
 	default:
+		e.notifyGhost(h.Frame)
 		return fmt.Errorf("core: slot %d busy with frame %d", slot, owner-1)
 	}
 	if !e.rxSeen[slot][h.Symbol][h.Antenna].CompareAndSwap(false, true) {
@@ -490,6 +547,16 @@ func (e *Engine) acceptPacket(pkt []byte) error {
 		}
 	}
 	return nil
+}
+
+// notifyGhost tells the manager a packet for frame id was rejected at
+// admission because its buffer slot is occupied. Without this the frame
+// would vanish without a FrameResult and downstream consumers that expect
+// one result per injected frame would block until their own timeout. The
+// notification is best-effort (a full rxQ means the manager has plenty of
+// other evidence the system is overloaded).
+func (e *Engine) notifyGhost(id uint32) {
+	e.rxQ.TryEnqueue(queue.Msg{Type: queue.TaskPacketRX, Frame: id, Aux: 1})
 }
 
 // runNetTX drains TaskPacketTX messages, packetizes downlink time-domain

@@ -137,6 +137,23 @@ func (e *Engine) admissible() bool {
 
 // onRX handles one received-packet notification.
 func (e *Engine) onRX(m queue.Msg) {
+	if m.Aux != 0 {
+		// Ghost notification: every packet of frame m.Frame is bouncing off
+		// an occupied buffer slot. If no packet ever lands, reapStale emits
+		// a Dropped result so consumers expecting one result per frame are
+		// not left waiting on a frame the engine silently rejected.
+		if _, live := e.frames[m.Frame]; live {
+			return
+		}
+		if _, pend := e.pendingRx[m.Frame]; pend {
+			return
+		}
+		if _, seen := e.ghosts[m.Frame]; !seen {
+			e.ghosts[m.Frame] = time.Now()
+		}
+		return
+	}
+	delete(e.ghosts, m.Frame) // a packet got through after all
 	if f, ok := e.frames[m.Frame]; ok {
 		e.dispatchRX(f, m)
 		return
@@ -509,6 +526,15 @@ func (e *Engine) reapStale(now time.Time) {
 		if now.Sub(pend.first) > frameTimeout {
 			delete(e.pendingRx, id)
 			e.drops.Add(1)
+		}
+	}
+	for id, t0 := range e.ghosts {
+		if now.Sub(t0) > frameTimeout {
+			delete(e.ghosts, id)
+			select {
+			case e.results <- FrameResult{Frame: id, Dropped: true, FirstPkt: t0}:
+			default: // consumer too slow; drop the report, not the pipeline
+			}
 		}
 	}
 }

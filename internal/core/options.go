@@ -69,6 +69,12 @@ type Options struct {
 	// textbook loops (§4.2).
 	DisableJITGemm bool
 
+	// DisableBlockGemm turns off the blocked (BLAS-3) multi-subcarrier
+	// equalization/precoding kernels and the batched (de)modulation calls
+	// that ride on them, reverting to one matvec and one (de)modulation
+	// call per subcarrier.
+	DisableBlockGemm bool
+
 	// DisableSIMDConvert replaces the word-packed IQ conversion with the
 	// byte-at-a-time version (§4, data type conversions).
 	DisableSIMDConvert bool
@@ -105,7 +111,11 @@ type Options struct {
 	// precoder staleness.
 	StaleDLSymbols int
 
-	// QueueDepth sizes each task queue (messages).
+	// QueueDepth sizes each task queue (messages). Zero (the default)
+	// derives each queue's depth from the frame geometry: a queue only
+	// needs to hold the messages its task type can have in flight across
+	// every buffer slot, which for small cells is far less than a uniform
+	// worst-case depth and shrinks per-engine memory accordingly.
 	QueueDepth int
 
 	// FrameTimeout abandons a frame whose packets stopped arriving,
@@ -119,10 +129,10 @@ func (o Options) withDefaults() Options {
 		o.Workers = 4
 	}
 	if o.Slots <= 0 {
-		o.Slots = 4
-	}
-	if o.QueueDepth <= 0 {
-		o.QueueDepth = 8192
+		// The paper provisions "tens of frames" of buffer space; eight
+		// slots keep a paced fronthaul from rejecting bursts when a frame
+		// occasionally finishes late (four proved too tight under load).
+		o.Slots = 8
 	}
 	if o.FrameTimeout <= 0 {
 		o.FrameTimeout = 2 * time.Second

@@ -95,18 +95,28 @@ func (p *Plan) transform(x []complex64, tw []complex64) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Iterative butterflies. Stage with half-block h combines pairs at
-	// distance h; twiddles for the stage start at offset h-1.
-	for h := 1; h < n; h *= 2 {
-		st := tw[h-1 : 2*h-1]
+	// First stage (h = 1): the only twiddle is unity, so the butterflies
+	// are pure add/subtract pairs — no reason to load and multiply by 1.
+	for base := 0; base+1 < n; base += 2 {
+		u, v := x[base], x[base+1]
+		x[base] = u + v
+		x[base+1] = u - v
+	}
+	// Remaining stages. Stage with half-block h combines pairs at distance
+	// h; twiddles for the stage start at offset h-1. Splitting each block
+	// into equal-length lo/hi halves lets the compiler drop the bounds
+	// checks inside the butterfly loop.
+	for h := 2; h < n; h *= 2 {
+		st := tw[h-1 : 2*h-1 : 2*h-1]
 		step := 2 * h
 		for base := 0; base < n; base += step {
-			blk := x[base : base+step]
-			for j := 0; j < h; j++ {
-				u := blk[j]
-				v := blk[j+h] * st[j]
-				blk[j] = u + v
-				blk[j+h] = u - v
+			lo := x[base : base+h : base+h]
+			hi := x[base+h : base+step : base+step]
+			for j, w := range st {
+				u := lo[j]
+				v := hi[j] * w
+				lo[j] = u + v
+				hi[j] = u - v
 			}
 		}
 	}

@@ -67,11 +67,15 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 	}
 	frameDur := cfg.FrameDuration()
 	results := eng.Results()
+	// The engine emits a FrameResult for every frame it sees — including
+	// ones rejected outright at admission, which surface as Dropped after
+	// the engine's frame timeout (2s default) — so a healthy run never
+	// comes near this deadline; it only catches a wedged engine.
 	recv := func() (core.FrameResult, error) {
 		select {
 		case r := <-results:
 			return r, nil
-		case <-time.After(120 * time.Second):
+		case <-time.After(15 * time.Second):
 			return core.FrameResult{}, fmt.Errorf("harness: frame result timeout")
 		}
 	}

@@ -28,9 +28,19 @@ type Decoder struct {
 	l     []float32 // posterior LLR per variable
 	r     []float32 // check-to-variable message per edge instance
 	hard  []byte    // hard decisions
-	// edge layout: for block-row i, edges are stored layer by layer:
-	// rowOff[i] + e*Z + r for edge index e within the row and check row r.
+	// edge layout: for block-row i, edges are stored check by check:
+	// rowOff[i] + r*deg + e for check row r and edge index e, so one
+	// check's messages are contiguous in both update passes.
 	rowOff []int
+	// Flat per-edge tables (indexed by eOff[i]+e): the variable-block base
+	// column*Z and the cyclic shift, precomputed so the hot loop does one
+	// add and one conditional subtract per edge instead of a multiply and
+	// two struct field loads.
+	eOff     []int
+	edgeBase []int
+	edgeShf  []int
+	vIdx     []int32   // per-check scratch: variable index of each edge
+	q        []float32 // per-check scratch: variable-to-check messages
 }
 
 // NewDecoder allocates scratch for code c.
@@ -40,13 +50,30 @@ func NewDecoder(c *Code) *Decoder {
 	d.l = make([]float32, nVar)
 	d.hard = make([]byte, nVar)
 	d.rowOff = make([]int, c.Mb+1)
-	total := 0
+	d.eOff = make([]int, c.Mb+1)
+	total, edges, maxDeg := 0, 0, 0
 	for i, row := range c.rows {
 		d.rowOff[i] = total
+		d.eOff[i] = edges
 		total += len(row) * c.Z
+		edges += len(row)
+		if len(row) > maxDeg {
+			maxDeg = len(row)
+		}
 	}
 	d.rowOff[c.Mb] = total
+	d.eOff[c.Mb] = edges
 	d.r = make([]float32, total)
+	d.edgeBase = make([]int, edges)
+	d.edgeShf = make([]int, edges)
+	for i, row := range c.rows {
+		for e, en := range row {
+			d.edgeBase[d.eOff[i]+e] = en.col * c.Z
+			d.edgeShf[d.eOff[i]+e] = en.shift
+		}
+	}
+	d.vIdx = make([]int32, maxDeg)
+	d.q = make([]float32, maxDeg)
 	return d
 }
 
@@ -79,17 +106,30 @@ func (d *Decoder) Decode(info []byte, llr []float32, maxIter int) Result {
 	for it := 1; it <= maxIter; it++ {
 		res.Iterations = it
 		for i, row := range c.rows {
-			base := d.rowOff[i]
 			deg := len(row)
+			eo := d.eOff[i]
+			cols := d.edgeBase[eo : eo+deg]
+			shifts := d.edgeShf[eo : eo+deg]
+			vs := d.vIdx[:deg]
+			qs := d.q[:deg]
 			for r := 0; r < z; r++ {
-				// Pass 1: subtract old messages, find min1/min2/sign.
+				rbase := d.rowOff[i] + r*deg
+				rr := d.r[rbase : rbase+deg : rbase+deg]
+				// Pass 1: subtract old messages, find min1/min2/sign. Each
+				// check touches distinct variables, so Q lives in scratch
+				// instead of being round-tripped through the posterior.
 				var min1, min2 float32 = 3.4e38, 3.4e38
 				minIdx := -1
 				signProd := float32(1)
 				for e := 0; e < deg; e++ {
-					v := row[e].col*z + modAdd(r, row[e].shift, z)
-					q := d.l[v] - d.r[base+e*z+r]
-					d.l[v] = q // temporarily store Q
+					rs := r + shifts[e]
+					if rs >= z {
+						rs -= z
+					}
+					v := cols[e] + rs
+					q := d.l[v] - rr[e]
+					vs[e] = int32(v)
+					qs[e] = q
 					aq := q
 					if aq < 0 {
 						aq = -aq
@@ -119,8 +159,7 @@ func (d *Decoder) Decode(info []byte, llr []float32, maxIter int) Result {
 				}
 				// Pass 2: write new messages and posteriors.
 				for e := 0; e < deg; e++ {
-					v := row[e].col*z + modAdd(r, row[e].shift, z)
-					q := d.l[v]
+					q := qs[e]
 					mag := m1
 					if e == minIdx {
 						mag = m2
@@ -130,8 +169,8 @@ func (d *Decoder) Decode(info []byte, llr []float32, maxIter int) Result {
 						s = -s
 					}
 					nr := s * mag
-					d.r[base+e*z+r] = nr
-					d.l[v] = q + nr
+					rr[e] = nr
+					d.l[vs[e]] = q + nr
 				}
 			}
 		}

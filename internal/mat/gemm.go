@@ -14,9 +14,9 @@ func MulInto(dst, a, b *M) {
 		}
 		arow := a.Row(i)
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
+			// No zero-skip here: dense complex channel matrices are
+			// essentially never exactly zero, so the branch only costs
+			// prediction slots in the hot loop.
 			brow := b.Data[k*n : (k+1)*n]
 			for j, bv := range brow {
 				drow[j] += av * bv

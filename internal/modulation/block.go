@@ -1,0 +1,88 @@
+package modulation
+
+import "math"
+
+// This file implements the batched (de)modulation APIs consumed by the
+// blocked equalization/precoding path: one call covers a whole
+// DemodBlockSize×K tile instead of paying a function call per
+// constellation symbol.
+
+// DemodulateSoftBlock computes max-log-MAP LLRs for a whole block of
+// equalized symbols in one call. It produces bit-identical output to
+// per-symbol DemodulateSoft but hoists the per-level squared distances out
+// of the per-bit scan: each PAM coordinate computes its ≤16 distances
+// once and reuses them for every bit, instead of recomputing them per bit.
+// len(dst) must be >= len(syms)*BitsPerSymbol.
+func (t *Table) DemodulateSoftBlock(dst []float32, syms []complex64, noiseVar float32) {
+	b := t.BitsPerSymbol() / 2
+	if len(dst) < len(syms)*2*b {
+		panic("modulation: DemodulateSoftBlock dst too small")
+	}
+	if noiseVar <= 0 {
+		noiseVar = 1e-6
+	}
+	inv := 1 / noiseVar
+	var d2 [16]float32 // up to 256-QAM: 16 PAM levels per axis
+	for s, v := range syms {
+		o := s * 2 * b
+		t.axisLLR(dst[o:o+b], real(v), inv, &d2)
+		t.axisLLR(dst[o+b:o+2*b], imag(v), inv, &d2)
+	}
+}
+
+// axisLLR computes the per-bit LLRs of one PAM coordinate: squared
+// distances to all levels first, then a max-log min-scan per bit. The
+// arithmetic (and hence the result) is identical to the historical
+// per-bit exhaustive scan; only the d² computations are shared.
+func (t *Table) axisLLR(dst []float32, x float32, invNoise float32, d2 *[16]float32) {
+	b := len(dst)
+	l := len(t.pam)
+	for g := 0; g < l; g++ {
+		d := x - t.pam[g]
+		d2[g] = d * d
+	}
+	for k := 0; k < b; k++ {
+		bitMask := 1 << (b - 1 - k)
+		best0 := float32(math.Inf(1))
+		best1 := float32(math.Inf(1))
+		for g := 0; g < l; g++ {
+			m := d2[g]
+			if g&bitMask == 0 {
+				if m < best0 {
+					best0 = m
+				}
+			} else if m < best1 {
+				best1 = m
+			}
+		}
+		dst[k] = (best1 - best0) * invNoise
+	}
+}
+
+// ModulateBlock maps the symbol range [first, first+len(dst)) of a user's
+// coded bit stream to constellation points in one call. Bits beyond
+// len(bits) are treated as zero, matching the per-subcarrier padding the
+// precoding block historically applied to the tail of a codeword, so a
+// whole ZF-group tile is modulated without per-symbol staging.
+func (t *Table) ModulateBlock(dst []complex64, bits []byte, first int) {
+	b := t.BitsPerSymbol()
+	n := len(bits)
+	for s := range dst {
+		off := (first + s) * b
+		var sym int
+		if off+b <= n {
+			for k := 0; k < b; k++ {
+				sym = sym<<1 | int(bits[off+k]&1)
+			}
+		} else {
+			for k := 0; k < b; k++ {
+				var v int
+				if off+k < n {
+					v = int(bits[off+k] & 1)
+				}
+				sym = sym<<1 | v
+			}
+		}
+		dst[s] = t.points[sym]
+	}
+}

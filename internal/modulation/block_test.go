@@ -1,0 +1,192 @@
+package modulation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refSoft is the historical per-bit exhaustive max-log scan (the
+// pre-batching DemodulateSoft), kept here as an independent reference:
+// the batched path hoists the squared distances but must remain
+// arithmetically identical.
+func refSoft(t *Table, dst []float32, sym []complex64, noiseVar float32) {
+	b := t.BitsPerSymbol() / 2
+	if noiseVar <= 0 {
+		noiseVar = 1e-6
+	}
+	inv := 1 / noiseVar
+	pam := func(out []float32, x float32) {
+		l := len(t.pam)
+		for k := 0; k < b; k++ {
+			bitMask := 1 << (b - 1 - k)
+			best0 := float32(math.Inf(1))
+			best1 := float32(math.Inf(1))
+			for g := 0; g < l; g++ {
+				d := x - t.pam[g]
+				m := d * d
+				if g&bitMask == 0 {
+					if m < best0 {
+						best0 = m
+					}
+				} else if m < best1 {
+					best1 = m
+				}
+			}
+			out[k] = (best1 - best0) * inv
+		}
+	}
+	for s, v := range sym {
+		o := s * 2 * b
+		pam(dst[o:o+b], real(v))
+		pam(dst[o+b:o+2*b], imag(v))
+	}
+}
+
+func noisySymbols(t *Table, rng *rand.Rand, n int) []complex64 {
+	syms := make([]complex64, n)
+	for i := range syms {
+		p := t.Point(rng.Intn(1 << t.BitsPerSymbol()))
+		syms[i] = p + complex(float32(rng.NormFloat64()*0.05),
+			float32(rng.NormFloat64()*0.05))
+	}
+	return syms
+}
+
+func TestDemodulateSoftBlockMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, o := range allOrders {
+		tab := Get(o)
+		for _, n := range []int{1, 3, 16, 65} {
+			syms := noisySymbols(tab, rng, n)
+			got := make([]float32, n*int(o))
+			want := make([]float32, n*int(o))
+			tab.DemodulateSoftBlock(got, syms, 0.1)
+			refSoft(tab, want, syms, 0.1)
+			for i := range got {
+				if got[i] != want[i] { // bit-identical, not approximate
+					t.Fatalf("%v n=%d llr[%d]: got %g want %g", o, n, i, got[i], want[i])
+				}
+			}
+			// The per-symbol public API must agree exactly with the block.
+			one := make([]float32, int(o))
+			for s := 0; s < n; s++ {
+				tab.DemodulateSoft(one, syms[s:s+1], 0.1)
+				for k, v := range one {
+					if v != got[s*int(o)+k] {
+						t.Fatalf("%v sym %d bit %d: per-symbol %g vs block %g",
+							o, s, k, v, got[s*int(o)+k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDemodulateSoftBlockNonPositiveNoise(t *testing.T) {
+	tab := Get(QPSK)
+	syms := []complex64{complex(0.7, -0.7)}
+	a := make([]float32, 2)
+	b := make([]float32, 2)
+	tab.DemodulateSoftBlock(a, syms, 0)
+	tab.DemodulateSoftBlock(b, syms, 1e-6)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("zero noiseVar not clamped: %v vs %v", a, b)
+	}
+}
+
+func TestModulateBlockMatchesModulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, o := range allOrders {
+		tab := Get(o)
+		b := int(o)
+		nSym := 40
+		bits := make([]byte, nSym*b)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		want := make([]complex64, nSym)
+		tab.Modulate(want, bits)
+		for _, first := range []int{0, 1, 7, nSym - 3} {
+			for _, n := range []int{1, 3, nSym - first} {
+				got := make([]complex64, n)
+				tab.ModulateBlock(got, bits, first)
+				for s := 0; s < n; s++ {
+					if got[s] != want[first+s] {
+						t.Fatalf("%v first=%d n=%d sym %d: got %v want %v",
+							o, first, n, s, got[s], want[first+s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestModulateBlockZeroPadsTail checks the codeword-tail contract: symbol
+// positions past the end of bits behave as if the missing bits were zero,
+// including a symbol straddling the boundary.
+func TestModulateBlockZeroPadsTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, o := range allOrders {
+		tab := Get(o)
+		b := int(o)
+		nSym := 8
+		cut := nSym*b - b/2 - 1 // mid-symbol truncation
+		bits := make([]byte, nSym*b)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		padded := make([]byte, (nSym+2)*b)
+		copy(padded, bits[:cut])
+		want := make([]complex64, nSym+2)
+		tab.Modulate(want, padded)
+		got := make([]complex64, nSym+2)
+		tab.ModulateBlock(got, bits[:cut], 0)
+		for s := range got {
+			if got[s] != want[s] {
+				t.Fatalf("%v sym %d: got %v want %v", o, s, got[s], want[s])
+			}
+		}
+	}
+}
+
+func BenchmarkDemodulateSoftBlock(b *testing.B) {
+	tab := Get(QAM64)
+	rng := rand.New(rand.NewSource(44))
+	syms := noisySymbols(tab, rng, 32)
+	dst := make([]float32, len(syms)*tab.BitsPerSymbol())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.DemodulateSoftBlock(dst, syms, 0.1)
+	}
+}
+
+func BenchmarkDemodulateSoftPerSymbol(b *testing.B) {
+	tab := Get(QAM64)
+	rng := rand.New(rand.NewSource(44))
+	syms := noisySymbols(tab, rng, 32)
+	dst := make([]float32, tab.BitsPerSymbol())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := range syms {
+			tab.DemodulateSoft(dst, syms[s:s+1], 0.1)
+		}
+	}
+}
+
+func BenchmarkModulateBlock(b *testing.B) {
+	tab := Get(QAM64)
+	rng := rand.New(rand.NewSource(45))
+	bits := make([]byte, 16*tab.BitsPerSymbol())
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	dst := make([]complex64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.ModulateBlock(dst, bits, 0)
+	}
+}

@@ -166,41 +166,8 @@ func (t *Table) Demodulate(dst []byte, sym []complex64) {
 // DemodulateSoft computes max-log-MAP LLRs for each bit given the noise
 // variance of the effective channel after equalization. Positive LLR means
 // bit 0 is more likely (the LDPC decoder uses the same convention).
-// len(dst) must be >= len(sym)*BitsPerSymbol.
+// len(dst) must be >= len(sym)*BitsPerSymbol. It shares the batched core
+// with DemodulateSoftBlock (block.go) and produces identical output.
 func (t *Table) DemodulateSoft(dst []float32, sym []complex64, noiseVar float32) {
-	b := t.BitsPerSymbol() / 2
-	if noiseVar <= 0 {
-		noiseVar = 1e-6
-	}
-	inv := 1 / noiseVar
-	for s, v := range sym {
-		o := s * 2 * b
-		t.pamLLR(dst[o:o+b], real(v), inv)
-		t.pamLLR(dst[o+b:o+2*b], imag(v), inv)
-	}
-}
-
-// pamLLR computes per-bit LLRs for one PAM coordinate by exhaustive
-// max-log over the levels. Level counts are at most 16 (256-QAM), so the
-// scan is cheap and branch-predictable.
-func (t *Table) pamLLR(dst []float32, x float32, invNoise float32) {
-	b := len(dst)
-	l := len(t.pam)
-	for k := 0; k < b; k++ {
-		bitMask := 1 << (b - 1 - k)
-		best0 := float32(math.Inf(1))
-		best1 := float32(math.Inf(1))
-		for g := 0; g < l; g++ {
-			d := x - t.pam[g]
-			m := d * d
-			if g&bitMask == 0 {
-				if m < best0 {
-					best0 = m
-				}
-			} else if m < best1 {
-				best1 = m
-			}
-		}
-		dst[k] = (best1 - best0) * invNoise
-	}
+	t.DemodulateSoftBlock(dst, sym, noiseVar)
 }

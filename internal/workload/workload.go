@@ -47,6 +47,8 @@ type Generator struct {
 	tab      *modulation.Table
 	plan     *fft.Plan
 	userFreq [][]complex64 // per-user frequency-domain data symbol scratch
+	xtFreq   []complex64   // Q×K transposed user band (blocked-mix input)
+	mixFreq  []complex64   // M×Q all-antenna mixed band (blocked-mix output)
 	antFreq  []complex64
 	antTime  []complex64
 	antCP    []complex64 // antTime with the cyclic prefix prepended
@@ -79,6 +81,8 @@ func NewGenerator(cfg frame.Config, model channel.Model, snrDB float64, seed int
 	for u := range g.userFreq {
 		g.userFreq[u] = make([]complex64, cfg.OFDMSize)
 	}
+	g.xtFreq = make([]complex64, cfg.DataSubcarriers*cfg.Users)
+	g.mixFreq = make([]complex64, cfg.Antennas*cfg.DataSubcarriers)
 	g.antFreq = make([]complex64, cfg.OFDMSize)
 	g.antTime = make([]complex64, cfg.OFDMSize)
 	g.antCP = make([]complex64, cfg.SamplesPerSymbol())
@@ -274,24 +278,38 @@ func (g *Generator) emitUplinkSymbol(frameID uint32, sym int, emit func([]byte) 
 func (g *Generator) mixAndEmit(frameID uint32, sym int, emit func([]byte) error) error {
 	cfg := &g.Cfg
 	noiseVar := channel.NoiseVarForSNR(g.SNRdB)
+	ds := cfg.DataStart()
+	q := cfg.DataSubcarriers
+	k := cfg.Users
+	if g.sel == nil {
+		// Flat fading: one blocked multiply computes every antenna's data
+		// band at once — dst = H·Xᵀ with the user bands transposed to
+		// subcarrier rows. This is the same BLAS-3 kernel the engine's
+		// equalizer uses, replacing K full-grid AXPY passes per antenna.
+		for u := 0; u < k; u++ {
+			src := g.userFreq[u][ds : ds+q]
+			for sc, v := range src {
+				g.xtFreq[sc*k+u] = v
+			}
+		}
+		xt := mat.M{Rows: q, Cols: k, Data: g.xtFreq}
+		mix := mat.M{Rows: cfg.Antennas, Cols: q, Data: g.mixFreq}
+		mat.MulBlockInto(&mix, g.H, &xt)
+	}
 	for a := 0; a < cfg.Antennas; a++ {
 		cf.Fill(g.antFreq, 0)
 		if g.sel != nil {
 			// Frequency-selective: apply the per-subcarrier response.
-			ds := cfg.DataStart()
-			for sc := 0; sc < cfg.DataSubcarriers; sc++ {
+			for sc := 0; sc < q; sc++ {
 				hrow := g.hBand[sc].Row(a)
 				var acc complex64
-				for u := 0; u < cfg.Users; u++ {
+				for u := 0; u < k; u++ {
 					acc += hrow[u] * g.userFreq[u][ds+sc]
 				}
 				g.antFreq[ds+sc] = acc
 			}
 		} else {
-			hrow := g.H.Row(a)
-			for u := 0; u < cfg.Users; u++ {
-				cf.AXPY(g.antFreq, hrow[u], g.userFreq[u])
-			}
+			copy(g.antFreq[ds:ds+q], g.mixFreq[a*q:(a+1)*q])
 		}
 		copy(g.antTime, g.antFreq)
 		g.plan.Inverse(g.antTime)
