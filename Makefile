@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench baseline clean
+.PHONY: check vet build test race bench baseline perf clean
 
-check: vet build test race
+check: vet build test race perf
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,12 @@ bench:
 # the result when intentionally moving the baseline (e.g. after a perf PR).
 baseline:
 	$(GO) run ./cmd/bench -baseline -baseline-count 5
+
+# Perf guardrail: re-run the end-to-end medians recorded in the committed
+# baseline and fail on >10% regression, so tier-1 catches performance
+# regressions alongside correctness.
+perf:
+	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json
 
 clean:
 	$(GO) clean

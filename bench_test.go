@@ -189,7 +189,14 @@ func BenchmarkTable4_AllOptimizationsOff(b *testing.B) {
 	benchFrame(b, laptopCfg(), Options{Workers: 2,
 		DisableBatching: true, DisableMemOpt: true, DisableDirectStore: true,
 		DisableInverseOpt: true, DisableJITGemm: true, DisableBlockGemm: true,
-		DisableSIMDConvert: true})
+		DisableSIMDConvert: true, DisableSplitRadixFFT: true})
+}
+
+// BenchmarkTable4_Radix2FFT isolates the split-radix engine's ablation:
+// only the FFT kernel (and the fused front end / batched IFFT dispatch
+// that ride on it) reverts, everything else stays optimized.
+func BenchmarkTable4_Radix2FFT(b *testing.B) {
+	benchFrame(b, laptopCfg(), Options{Workers: 2, DisableSplitRadixFFT: true})
 }
 
 // BenchmarkTable5_ServerProfiles runs the cost-scaled profile comparison.

@@ -15,6 +15,13 @@
 //	go run ./cmd/bench -baseline                       # run suite, write BENCH_BASELINE.json
 //	go run ./cmd/bench -baseline -baseline-count 5     # 5 samples/benchmark, medians recorded
 //	go run ./cmd/bench -baseline -baseline-input a.txt # parse saved `go test -bench` output
+//
+// And guard against performance regressions by re-running the recorded
+// benchmarks and failing when any median degrades past the tolerance
+// (wired into `make check` via the perf target):
+//
+//	go run ./cmd/bench -compare BENCH_BASELINE.json
+//	go run ./cmd/bench -compare BENCH_BASELINE.json -compare-tol 0.05
 package main
 
 import (
@@ -40,6 +47,11 @@ func main() {
 		blCount   = flag.Int("baseline-count", 5, "samples per benchmark (medians are recorded)")
 		blNote    = flag.String("baseline-note", "", "free-form provenance note stored in the baseline")
 		blOut     = flag.String("baseline-out", "BENCH_BASELINE.json", "output path ('-' for stdout)")
+
+		compare  = flag.String("compare", "", "baseline JSON to check for regressions (exits non-zero on >tolerance median regression)")
+		cmpBench = flag.String("compare-bench", "Table1|Fig9", "benchmark regexp re-run for the comparison")
+		cmpCount = flag.Int("compare-count", 3, "samples per benchmark for the comparison")
+		cmpTol   = flag.Float64("compare-tol", 0.10, "allowed fractional regression per median")
 	)
 	var blInputs multiFlag
 	flag.Var(&blInputs, "baseline-input", "parse saved `go test -bench -benchmem` output instead of running (repeatable)")
@@ -47,6 +59,13 @@ func main() {
 	if *baseline {
 		if err := runBaseline(blInputs, *blPattern, *blCount, *blNote, *blOut); err != nil {
 			fmt.Fprintf(os.Stderr, "baseline failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compare != "" {
+		if err := runCompare(*compare, *cmpBench, *cmpCount, *cmpTol); err != nil {
+			fmt.Fprintf(os.Stderr, "compare failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

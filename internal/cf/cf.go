@@ -18,9 +18,52 @@ import (
 // packed into three bytes, little-endian within the 24-bit word.
 const BytesPerIQ = 3
 
+// Magic-number float conversion (the classic 1.5·2^23 trick): for any
+// integer m with |m| < 2^22, float32(m) + magicF32 has the bit pattern
+// magicBits + m, so adding the constant rounds a float to the nearest
+// integer (ties to even, straight from the FPU's rounding mode) and the
+// integer drops out of the mantissa with one subtraction — no Round call,
+// no cvt instruction on the quantize side.
+const (
+	magicF32  = 12582912.0 // 1.5 * 2^23
+	magicBits = 0x4B400000 // math.Float32bits(magicF32)
+	// iq12Bias recenters the XOR-biased 12-bit field (i+2048 in [0,4096))
+	// back to a signed value after the mantissa extraction.
+	iq12Bias = magicF32 + 2048.0
+)
+
 // sign-extend a 12-bit value held in the low bits of x.
 func sext12(x uint32) int32 {
 	return int32(x<<20) >> 20
+}
+
+// dequant12 converts a raw 12-bit two's-complement field (low 12 bits of
+// x) to its float32 value via the magic-number route: XOR 0x800 biases it
+// to [0, 4096), OR-ing into the magic mantissa makes the float
+// magicF32 + (i + 2048), and subtracting iq12Bias leaves exactly
+// float32(i). Branch-free and exact (12-bit ints are exact in float32).
+func dequant12(x uint32) float32 {
+	return math.Float32frombits(magicBits|((x&0xFFF)^0x800)) - iq12Bias
+}
+
+// quant12 rounds a float32 (nominally within ±2047) to the nearest
+// integer (ties to even) via the magic-number addition and clamps it to
+// the signed 12-bit range without branches. Values beyond ±2^22 are out
+// of the trick's domain; the TX path feeds ±2048·|sample| with samples
+// nominally in [-1, 1), far inside it.
+func quant12(v float32) int32 {
+	i := int32(math.Float32bits(v+magicF32)) - magicBits
+	return clampI32(i, -2048, 2047)
+}
+
+// clampI32 clamps v to [lo, hi] branch-free: min/max via the sign bit of
+// the difference (d & d>>31 is d when negative, else 0).
+func clampI32(v, lo, hi int32) int32 {
+	d := v - hi
+	v = hi + (d & (d >> 31)) // min(v, hi)
+	d = v - lo
+	v = lo + (d &^ (d >> 31)) // max(v, lo)
+	return v
 }
 
 // PackIQ12 packs int16 I/Q pairs (each clamped to the signed 12-bit range)
@@ -45,19 +88,16 @@ func PackIQ12(dst []byte, iq []int16) {
 	}
 }
 
+// clamp12 clamps to the signed 12-bit range, branch-free.
 func clamp12(v int16) int16 {
-	if v > 2047 {
-		return 2047
-	}
-	if v < -2048 {
-		return -2048
-	}
-	return v
+	return int16(clampI32(int32(v), -2048, 2047))
 }
 
 // UnpackIQ12 expands the 3-byte wire format into complex64 samples scaled
 // to [-1, 1). It is the hot RX-path conversion: one 24-bit word is loaded
-// per sample and split without branches.
+// per sample and both components convert through the branch-free
+// magic-number route (bit-identical to the sign-extend + cvt sequence,
+// since 12-bit integers are exact in float32).
 func UnpackIQ12(dst []complex64, src []byte) {
 	n := len(src) / BytesPerIQ
 	if len(dst) < n {
@@ -67,10 +107,19 @@ func UnpackIQ12(dst []complex64, src []byte) {
 	for s := 0; s < n; s++ {
 		o := s * BytesPerIQ
 		w := uint32(src[o]) | uint32(src[o+1])<<8 | uint32(src[o+2])<<16
-		i := sext12(w & 0xFFF)
-		q := sext12(w >> 12)
-		dst[s] = complex(float32(i)*scale, float32(q)*scale)
+		dst[s] = complex(dequant12(w)*scale, dequant12(w>>12)*scale)
 	}
+}
+
+// IQ12At returns sample idx of a 24-bit IQ wire buffer as a complex64
+// scaled to [-1, 1) — the random-access counterpart of UnpackIQ12,
+// bit-identical per sample. The FFT's fused front end uses it to gather
+// samples straight into digit-reversed order.
+func IQ12At(src []byte, idx int) complex64 {
+	o := idx * BytesPerIQ
+	w := uint32(src[o]) | uint32(src[o+1])<<8 | uint32(src[o+2])<<16
+	const scale = 1.0 / 2048.0
+	return complex(dequant12(w)*scale, dequant12(w>>12)*scale)
 }
 
 // UnpackIQ12Naive is the deliberately unoptimized conversion used by the
@@ -91,14 +140,17 @@ func UnpackIQ12Naive(dst []complex64, src []byte) {
 
 // Quantize12 converts float32-domain complex samples (nominally in [-1,1))
 // into interleaved int16 I/Q with 12-bit clipping, the TX-side inverse of
-// UnpackIQ12.
+// UnpackIQ12. The magic-number addition performs the round-to-even that
+// used to cost a float64 math.RoundToEven call per component, and the
+// clamp is branch-free; results match the old formula exactly for inputs
+// within ±16 (and clamp identically far beyond the 12-bit range).
 func Quantize12(dst []int16, src []complex64) {
 	if len(dst) < 2*len(src) {
 		panic("cf: Quantize12 dst too small")
 	}
 	for s, v := range src {
-		dst[2*s] = clamp12(int16(math.RoundToEven(float64(real(v)) * 2048)))
-		dst[2*s+1] = clamp12(int16(math.RoundToEven(float64(imag(v)) * 2048)))
+		dst[2*s] = int16(quant12(real(v) * 2048))
+		dst[2*s+1] = int16(quant12(imag(v) * 2048))
 	}
 }
 

@@ -79,6 +79,106 @@ func TestSext12(t *testing.T) {
 	}
 }
 
+func TestDequant12MatchesSext(t *testing.T) {
+	// The magic-number dequant must be bit-identical to sign-extend + cvt
+	// for every 12-bit pattern, regardless of garbage in the high bits.
+	for raw := uint32(0); raw < 0x1000; raw++ {
+		for _, x := range []uint32{raw, raw | 0xFFFFF000, raw | 0xABCDE000} {
+			got := dequant12(x)
+			want := float32(sext12(x))
+			if got != want {
+				t.Fatalf("dequant12(%#x) = %v, want %v", x, got, want)
+			}
+		}
+	}
+}
+
+func TestQuant12MatchesRoundToEven(t *testing.T) {
+	// The magic-number quantizer must reproduce the old
+	// clamp(math.RoundToEven(v)) path exactly: every representable
+	// half-integer in range (the tie cases), a fine sweep, and random
+	// floats including out-of-range values that must clamp.
+	check := func(v float32) {
+		got := quant12(v)
+		want := int32(math.RoundToEven(float64(v)))
+		if want > 2047 {
+			want = 2047
+		} else if want < -2048 {
+			want = -2048
+		}
+		if got != want {
+			t.Fatalf("quant12(%v) = %d, want %d", v, got, want)
+		}
+	}
+	for i := -4100; i <= 4100; i++ {
+		check(float32(i) / 2)       // all half-integers incl. ties
+		check(float32(i)/2 + 0.3)   // off-tie offsets
+		check(float32(i)/2 - 0.251) // negative side
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		check((rng.Float32()*2 - 1) * 5000)
+	}
+	check(0)
+	check(-2048.5)
+	check(2046.5)
+}
+
+func TestClampI32(t *testing.T) {
+	cases := []struct{ v, lo, hi, want int32 }{
+		{0, -2048, 2047, 0},
+		{-5000, -2048, 2047, -2048},
+		{5000, -2048, 2047, 2047},
+		{-2048, -2048, 2047, -2048},
+		{2047, -2048, 2047, 2047},
+		{-2049, -2048, 2047, -2048},
+		{2048, -2048, 2047, 2047},
+		{7, 0, 10, 7},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+	}
+	for _, c := range cases {
+		if got := clampI32(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("clampI32(%d,%d,%d) = %d, want %d", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestIQ12AtMatchesUnpack(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	wire := make([]byte, 3*513)
+	rng.Read(wire)
+	dst := make([]complex64, 513)
+	UnpackIQ12(dst, wire)
+	for i := range dst {
+		if got := IQ12At(wire, i); got != dst[i] {
+			t.Fatalf("IQ12At(%d) = %v, UnpackIQ12 gives %v", i, got, dst[i])
+		}
+	}
+}
+
+func TestQuantizeDequantizeExactAtCodePoints(t *testing.T) {
+	// Samples sitting exactly on 12-bit code points must round-trip
+	// bit-exactly through quantize -> pack -> unpack.
+	n := 4095
+	src := make([]complex64, n)
+	for i := 0; i < n; i++ {
+		v := float32(i-2047) / 2048
+		src[i] = complex(v, -v)
+	}
+	iq := make([]int16, 2*n)
+	Quantize12(iq, src)
+	wire := make([]byte, n*BytesPerIQ)
+	PackIQ12(wire, iq)
+	back := make([]complex64, n)
+	UnpackIQ12(back, wire)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("code point %d: %v -> %v", i, src[i], back[i])
+		}
+	}
+}
+
 func TestDotConjHermitian(t *testing.T) {
 	// <x,x> must be real, nonnegative, and equal Energy(x).
 	f := func(re, im []float32) bool {
@@ -159,5 +259,17 @@ func BenchmarkUnpackIQ12Naive(b *testing.B) {
 	b.SetBytes(int64(len(wire)))
 	for i := 0; i < b.N; i++ {
 		UnpackIQ12Naive(dst, wire)
+	}
+}
+
+func BenchmarkQuantize12(b *testing.B) {
+	src := make([]complex64, 2048)
+	for i := range src {
+		src[i] = complex(float32(i%97)/97-0.5, float32(i%89)/89-0.5)
+	}
+	dst := make([]int16, 2*len(src))
+	b.SetBytes(int64(len(src) * 8))
+	for i := 0; i < b.N; i++ {
+		Quantize12(dst, src)
 	}
 }

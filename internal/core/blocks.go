@@ -21,7 +21,9 @@ type worker struct {
 	plan    *fft.Plan
 	timeBuf []complex64
 	freqBuf []complex64
+	ifftBuf []complex64 // FFTBatch×OFDMSize lanes for batched downlink IFFTs
 	stage   []complex64 // staging copy when DisableDirectStore
+	fuseRX  bool        // CP strip + unpack fused into the FFT permutation
 	yvec    []complex64 // gathered antenna vector (M)
 	xvec    []complex64 // equalized user vector (K)
 	symLLR  []float32   // per-subcarrier LLR scratch
@@ -85,11 +87,20 @@ func newWorker(id int, e *Engine) *worker {
 	w.xtBlk = make([]complex64, maxB*cfg.Users)
 	w.dec = ldpc.NewDecoder(e.code)
 	w.dec.Alg = ldpc.NormalizedMinSum
+	batchLanes := cfg.FFTBatch
+	if batchLanes < 1 {
+		batchLanes = 1
+	}
+	w.ifftBuf = make([]complex64, batchLanes*cfg.OFDMSize)
 	if e.opts.DisableSIMDConvert {
 		w.unpack = cf.UnpackIQ12Naive
 	} else {
 		w.unpack = cf.UnpackIQ12
 	}
+	// The fused RX front end gathers IQ samples straight into digit-reversed
+	// FFT order, so it needs the real transform (DummyKernels skips it) and
+	// the packed conversion it is built on.
+	w.fuseRX = !e.opts.DummyKernels && !e.opts.DisableSIMDConvert && !e.opts.DisableSplitRadixFFT
 	// Precompute conjugated pilots for CSI extraction.
 	w.pilotFreq = make([][]complex64, cfg.Users)
 	for u := 0; u < cfg.Users; u++ {
@@ -107,8 +118,18 @@ func newWorker(id int, e *Engine) *worker {
 
 // fftIntoDataBand unpacks a received payload, strips the cyclic prefix,
 // runs the FFT and leaves the data band in w.freqBuf[dataStart:…].
+//
+// The default path is fused: ForwardIQ12 dequantizes each 24-bit IQ word
+// directly into its digit-reversed slot while skipping the CP, so the
+// symbol's samples are touched once instead of three times (unpack pass,
+// CP-strip copy, permutation pass). The ablations that disable the packed
+// conversion or the split-radix engine fall back to the staged path.
 func (w *worker) fftIntoDataBand(payload []byte) {
 	cfg := &w.eng.cfg
+	if w.fuseRX {
+		w.plan.ForwardIQ12(w.freqBuf, payload, cfg.CPLen)
+		return
+	}
 	w.unpack(w.timeBuf[:cfg.SamplesPerSymbol()], payload)
 	if cfg.CPLen > 0 {
 		copy(w.timeBuf, w.timeBuf[cfg.CPLen:cfg.SamplesPerSymbol()])
@@ -453,6 +474,50 @@ func (w *worker) runIFFT(slot int, sym, ant uint16) {
 	}
 	copy(out[cfg.CPLen:], w.freqBuf)
 	cf.Scale(out, float32(e.dlGain))
+}
+
+// runIFFTBatch transforms a run of count consecutive antennas of one
+// downlink symbol with a single strided InverseBatch call over the
+// worker's lane buffer: the gather reads each subcarrier-major source row
+// once (the antennas are adjacent within a row), the butterflies run
+// back-to-back while the twiddles are hot, and the CP/scale epilogue is
+// per lane. Falls back to the per-antenna path for the ablations and for
+// counts beyond the provisioned lanes.
+func (w *worker) runIFFTBatch(slot int, sym uint16, ant0, count int) {
+	e := w.eng
+	cfg := &e.cfg
+	nfft := cfg.OFDMSize
+	if count <= 1 || e.opts.DummyKernels || e.opts.DisableSplitRadixFFT ||
+		count*nfft > len(w.ifftBuf) {
+		for i := 0; i < count; i++ {
+			w.runIFFT(slot, sym, uint16(ant0+i))
+		}
+		return
+	}
+	b := e.buf
+	q := cfg.DataSubcarriers
+	m := cfg.Antennas
+	ds := cfg.DataStart()
+	buf := w.ifftBuf[:count*nfft]
+	cf.Fill(buf, 0)
+	src := b.dlFreq[slot][sym]
+	for sc := 0; sc < q; sc++ {
+		row := src[sc*m+ant0 : sc*m+ant0+count]
+		for l, v := range row {
+			buf[l*nfft+ds+sc] = v
+		}
+	}
+	w.plan.InverseBatch(buf, count, nfft)
+	gain := float32(e.dlGain)
+	for l := 0; l < count; l++ {
+		t := buf[l*nfft : (l+1)*nfft]
+		out := b.dlTime[slot][sym][ant0+l]
+		if cfg.CPLen > 0 {
+			copy(out, t[nfft-cfg.CPLen:])
+		}
+		copy(out[cfg.CPLen:], t)
+		cf.Scale(out, gain)
+	}
 }
 
 func min(a, b int) int {

@@ -197,10 +197,11 @@ func TestAblationsStillCorrect(t *testing.T) {
 		"no-jitgemm":     {Workers: 3, DisableJITGemm: true},
 		"no-blockgemm":   {Workers: 3, DisableBlockGemm: true},
 		"no-simdconvert": {Workers: 3, DisableSIMDConvert: true},
+		"no-splitradix":  {Workers: 3, DisableSplitRadixFFT: true},
 		"all-off": {Workers: 3, DisableBatching: true, DisableMemOpt: true,
 			DisableDirectStore: true, DisableInverseOpt: true,
 			DisableJITGemm: true, DisableBlockGemm: true,
-			DisableSIMDConvert: true},
+			DisableSIMDConvert: true, DisableSplitRadixFFT: true},
 	}
 	for name, opts := range cases {
 		opts := opts

@@ -172,8 +172,12 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 		pendingRx:   make(map[uint32]pendingFrame),
 		ghosts:      make(map[uint32]time.Time),
 	}
+	kern := fft.SplitRadix
+	if opts.DisableSplitRadixFFT {
+		kern = fft.Radix2
+	}
 	var err error
-	e.plan, err = fft.NewPlan(cfg.OFDMSize)
+	e.plan, err = fft.NewPlanKernel(cfg.OFDMSize, kern)
 	if err != nil {
 		return nil, err
 	}
@@ -656,6 +660,12 @@ func (e *Engine) execute(w *worker, m queue.Msg) {
 		batch = 1
 	}
 	slot := int(m.Slot)
+	if m.Type == queue.TaskIFFT {
+		// The whole message is one batched call: the antennas in a message
+		// are consecutive, which is exactly InverseBatch's lane layout.
+		w.runIFFTBatch(slot, m.Symbol, int(m.TaskIdx), batch)
+		return
+	}
 	for i := 0; i < batch; i++ {
 		idx := int(m.TaskIdx) + i
 		switch m.Type {

@@ -76,8 +76,16 @@ type Options struct {
 	DisableBlockGemm bool
 
 	// DisableSIMDConvert replaces the word-packed IQ conversion with the
-	// byte-at-a-time version (§4, data type conversions).
+	// byte-at-a-time version (§4, data type conversions). It also precludes
+	// the fused unpack/permute FFT front end, which builds on the packed
+	// conversion.
 	DisableSIMDConvert bool
+
+	// DisableSplitRadixFFT reverts the (I)FFT to the radix-2 kernel and the
+	// unfused unpack -> CP-strip -> transform front end, the Table-4-style
+	// ablation pair for the split-radix engine. Batched IFFT dispatch is
+	// also disabled so the path matches the historical per-antenna loop.
+	DisableSplitRadixFFT bool
 
 	// RealTime pins workers to OS threads and disables GC assists during
 	// the run, the analogue of running Agora as a real-time process with

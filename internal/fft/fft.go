@@ -1,51 +1,99 @@
-// Package fft implements the OFDM (I)FFT used by the baseband: an
-// iterative radix-2 Cooley–Tukey transform over complex64 samples with
-// precomputed twiddle factors and bit-reversal tables.
+// Package fft implements the OFDM (I)FFT used by the baseband.
+//
+// The default kernel is a mixed radix-4/radix-2 (split-radix-style)
+// decimation-in-time transform over complex64 samples: a digit-reversal
+// permutation realized as a precomputed transposition list, a specialized
+// unity-twiddle radix-4 first stage, stage-grouped radix-4 butterflies
+// (three multiplies per four outputs — 25% fewer multiplies and half the
+// memory passes of radix-2), and one trailing radix-2 stage when log2(n)
+// is odd. The legacy radix-2 kernel is kept selectable as the Table-4
+// style ablation pair and is bit-identical to its historical output.
 //
 // A Plan is created once per size and is safe for concurrent use by
 // multiple workers as long as each call supplies its own buffer, matching
 // Agora's model where every FFT task owns a disjoint antenna buffer.
+// ForwardBatch/InverseBatch run a strided set of per-antenna transforms
+// through one call so twiddle tables stay cache-resident across the
+// batch, and ForwardIQ12 fuses the RX front end — cyclic-prefix strip,
+// 12-bit IQ unpack and the input permutation — into a single pass over
+// the payload bytes.
 package fft
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"repro/internal/cf"
 )
+
+// Kernel selects the butterfly decomposition of a Plan.
+type Kernel int
+
+const (
+	// SplitRadix is the default mixed radix-4/radix-2 kernel.
+	SplitRadix Kernel = iota
+	// Radix2 is the legacy iterative radix-2 kernel, kept as the ablation
+	// baseline; its output is bit-identical to the historical code.
+	Radix2
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	if k == Radix2 {
+		return "radix-2"
+	}
+	return "split-radix"
+}
 
 // Plan holds the precomputed tables for a fixed power-of-two size.
 type Plan struct {
-	n       int
-	logN    uint
-	rev     []uint32    // bit-reversal permutation
-	twid    []complex64 // forward twiddles, grouped per stage
-	twidInv []complex64 // inverse twiddles
+	n      int
+	logN   uint
+	kernel Kernel
+
+	// perm is the input permutation as a gather table: the butterfly
+	// stages expect x'[i] = x[perm[i]]. For the split-radix schedule this
+	// is the mixed digit reversal (base-4 digits, plus one binary digit
+	// when log2 n is odd); for radix-2 it is plain bit reversal.
+	perm []uint32
+	// swaps realizes perm in place as a flat list of (i,j) transposition
+	// pairs (one cycle-walk per permutation cycle), so the in-place entry
+	// points need no scratch buffer and stay safe for concurrent use.
+	swaps []uint32
+
+	// Radix-4 stage twiddles, stages concatenated in execution order
+	// (sub-size L = 4, 16, ...); butterfly j of a stage stores w1 =
+	// W_{4L}^j, w2 = W_{4L}^{2j}, w3 = W_{4L}^{3j} adjacently. The
+	// unity-twiddle L=1 stage stores nothing.
+	tw4, tw4Inv []complex64
+	// Trailing radix-2 stage twiddles (odd log2 n only): W_n^j, n/2 of
+	// them. nil when log2 n is even.
+	tw2, tw2Inv []complex64
+
+	// Legacy radix-2 tables (kernel == Radix2): stage with half-block h
+	// uses the h twiddles starting at offset h-1.
+	twid, twidInv []complex64
 }
 
-// NewPlan builds a plan for size n, which must be a power of two >= 2.
-func NewPlan(n int) (*Plan, error) {
+// NewPlan builds a split-radix plan for size n, a power of two >= 2.
+func NewPlan(n int) (*Plan, error) { return NewPlanKernel(n, SplitRadix) }
+
+// NewPlanKernel builds a plan for size n with an explicit kernel choice.
+func NewPlanKernel(n int, k Kernel) (*Plan, error) {
 	if n < 2 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("fft: size %d is not a power of two >= 2", n)
 	}
-	p := &Plan{n: n, logN: uint(bits.TrailingZeros(uint(n)))}
-	p.rev = make([]uint32, n)
-	for i := 0; i < n; i++ {
-		p.rev[i] = uint32(bits.Reverse32(uint32(i)) >> (32 - p.logN))
+	if k != SplitRadix && k != Radix2 {
+		return nil, fmt.Errorf("fft: unknown kernel %d", int(k))
 	}
-	// Stage s (half-block size h = 1<<s) uses h twiddles W_{2h}^j.
-	// Total = 1 + 2 + ... + n/2 = n-1.
-	p.twid = make([]complex64, n-1)
-	p.twidInv = make([]complex64, n-1)
-	idx := 0
-	for h := 1; h < n; h *= 2 {
-		for j := 0; j < h; j++ {
-			ang := -math.Pi * float64(j) / float64(h)
-			s, c := math.Sincos(ang)
-			p.twid[idx] = complex(float32(c), float32(s))
-			p.twidInv[idx] = complex(float32(c), float32(-s))
-			idx++
-		}
+	p := &Plan{n: n, logN: uint(bits.TrailingZeros(uint(n))), kernel: k}
+	if k == Radix2 {
+		p.initRadix2()
+	} else {
+		p.initSplitRadix()
 	}
+	p.swaps = buildSwaps(p.perm)
 	return p, nil
 }
 
@@ -58,19 +106,156 @@ func MustPlan(n int) *Plan {
 	return p
 }
 
+// initRadix2 fills the legacy tables: bit-reversal permutation and
+// per-stage radix-2 twiddles (1 + 2 + ... + n/2 = n-1 of each).
+func (p *Plan) initRadix2() {
+	n := p.n
+	p.perm = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		p.perm[i] = uint32(bits.Reverse32(uint32(i)) >> (32 - p.logN))
+	}
+	p.twid = make([]complex64, n-1)
+	p.twidInv = make([]complex64, n-1)
+	idx := 0
+	for h := 1; h < n; h *= 2 {
+		for j := 0; j < h; j++ {
+			ang := -math.Pi * float64(j) / float64(h)
+			s, c := math.Sincos(ang)
+			p.twid[idx] = complex(float32(c), float32(s))
+			p.twidInv[idx] = complex(float32(c), float32(-s))
+			idx++
+		}
+	}
+}
+
+// initSplitRadix fills the digit-reversal permutation and the radix-4 /
+// trailing radix-2 twiddle tables for the schedule: unity radix-4 stage,
+// twiddled radix-4 stages, then one radix-2 stage iff log2 n is odd.
+func (p *Plan) initSplitRadix() {
+	n := p.n
+	// Radix schedule from first executed stage to last.
+	var radices []int
+	r4End := n // portion covered by radix-4 stages
+	if p.logN%2 == 1 {
+		r4End = n / 2
+	}
+	for l := 1; l < r4End; l *= 4 {
+		radices = append(radices, 4)
+	}
+	if p.logN%2 == 1 {
+		radices = append(radices, 2)
+	}
+	p.perm = make([]uint32, n)
+	fillPerm(p.perm, 0, 0, 1, n, radices)
+	// Twiddles for radix-4 stages with sub-size L = 4, 16, ... < r4End
+	// (the L=1 stage is twiddle-free). Three per butterfly.
+	total := 0
+	for l := 4; 4*l <= r4End; l *= 4 {
+		total += 3 * l
+	}
+	p.tw4 = make([]complex64, total)
+	p.tw4Inv = make([]complex64, total)
+	idx := 0
+	for l := 4; 4*l <= r4End; l *= 4 {
+		for j := 0; j < l; j++ {
+			for m := 1; m <= 3; m++ {
+				ang := -2 * math.Pi * float64(m*j) / float64(4*l)
+				s, c := math.Sincos(ang)
+				p.tw4[idx] = complex(float32(c), float32(s))
+				p.tw4Inv[idx] = complex(float32(c), float32(-s))
+				idx++
+			}
+		}
+	}
+	if p.logN%2 == 1 {
+		h := n / 2
+		p.tw2 = make([]complex64, h)
+		p.tw2Inv = make([]complex64, h)
+		for j := 0; j < h; j++ {
+			ang := -2 * math.Pi * float64(j) / float64(n)
+			s, c := math.Sincos(ang)
+			p.tw2[j] = complex(float32(c), float32(s))
+			p.tw2Inv[j] = complex(float32(c), float32(-s))
+		}
+	}
+}
+
+// fillPerm computes the DIT input permutation for a mixed-radix schedule
+// recursively: the final stage (radices[len-1]) combines r interleaved
+// sub-transforms, each of which recursively owns a contiguous output
+// range. With an all-2 schedule this reduces to bit reversal.
+func fillPerm(perm []uint32, pos, off, stride, n int, radices []int) {
+	if n == 1 {
+		perm[pos] = uint32(off)
+		return
+	}
+	r := radices[len(radices)-1]
+	sub := n / r
+	for j := 0; j < r; j++ {
+		fillPerm(perm, pos+j*sub, off+j*stride, stride*r, sub, radices[:len(radices)-1])
+	}
+}
+
+// buildSwaps decomposes perm into transpositions: walking each cycle
+// (i -> perm[i] -> ...) and swapping along it applies x'[i] = x[perm[i]]
+// in place. For an involution (pure bit/digit reversal) this degenerates
+// to the classic swap-if-i<j loop; for mixed schedules it stays correct.
+func buildSwaps(perm []uint32) []uint32 {
+	n := len(perm)
+	visited := make([]bool, n)
+	var swaps []uint32
+	for i := 0; i < n; i++ {
+		if visited[i] || int(perm[i]) == i {
+			visited[i] = true
+			continue
+		}
+		j := i
+		for {
+			visited[j] = true
+			next := int(perm[j])
+			if next == i {
+				break
+			}
+			swaps = append(swaps, uint32(j), uint32(next))
+			j = next
+		}
+	}
+	return swaps
+}
+
 // Size returns the transform length.
 func (p *Plan) Size() int { return p.n }
+
+// KernelType reports which butterfly decomposition the plan uses.
+func (p *Plan) KernelType() Kernel { return p.kernel }
+
+func (p *Plan) check(x []complex64) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: buffer length %d != plan size %d", len(x), p.n))
+	}
+}
+
+// permute applies the input permutation in place via the swap list.
+func (p *Plan) permute(x []complex64) {
+	sw := p.swaps
+	for i := 0; i+1 < len(sw); i += 2 {
+		a, b := sw[i], sw[i+1]
+		x[a], x[b] = x[b], x[a]
+	}
+}
 
 // Forward computes the in-place DFT of x (len(x) must equal the plan size).
 // No normalization is applied, matching the usual engineering convention.
 func (p *Plan) Forward(x []complex64) {
-	p.transform(x, p.twid)
+	p.check(x)
+	p.permute(x)
+	p.butterflies(x, false)
 }
 
 // Inverse computes the in-place inverse DFT of x, including the 1/N
 // normalization so that Inverse(Forward(x)) == x.
 func (p *Plan) Inverse(x []complex64) {
-	p.transform(x, p.twidInv)
+	p.InverseNoScale(x)
 	inv := float32(1) / float32(p.n)
 	for i := range x {
 		x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
@@ -80,32 +265,194 @@ func (p *Plan) Inverse(x []complex64) {
 // InverseNoScale computes the unnormalized inverse DFT. The OFDM TX path
 // uses it with an explicit amplitude constant folded in elsewhere.
 func (p *Plan) InverseNoScale(x []complex64) {
-	p.transform(x, p.twidInv)
+	p.check(x)
+	p.permute(x)
+	p.butterflies(x, true)
 }
 
-func (p *Plan) transform(x []complex64, tw []complex64) {
-	n := p.n
-	if len(x) != n {
-		panic(fmt.Sprintf("fft: buffer length %d != plan size %d", len(x), n))
+// checkBatch validates a strided batch layout.
+func (p *Plan) checkBatch(x []complex64, count, stride int) {
+	if count < 0 || stride < p.n {
+		panic(fmt.Sprintf("fft: batch count %d / stride %d invalid for size %d", count, stride, p.n))
 	}
-	// Bit-reversal permutation.
-	for i := 0; i < n; i++ {
-		j := int(p.rev[i])
-		if i < j {
-			x[i], x[j] = x[j], x[i]
+	if count > 0 && len(x) < (count-1)*stride+p.n {
+		panic(fmt.Sprintf("fft: batch buffer length %d < %d (count %d, stride %d, size %d)",
+			len(x), (count-1)*stride+p.n, count, stride, p.n))
+	}
+}
+
+// ForwardBatch computes count in-place DFTs over the strided signals
+// x[b*stride : b*stride+n]. Samples between stride slots are untouched.
+// Batching keeps the permutation and twiddle tables hot across the set of
+// per-antenna transforms of one symbol.
+func (p *Plan) ForwardBatch(x []complex64, count, stride int) {
+	p.checkBatch(x, count, stride)
+	for b := 0; b < count; b++ {
+		s := x[b*stride : b*stride+p.n : b*stride+p.n]
+		p.permute(s)
+		p.butterflies(s, false)
+	}
+}
+
+// InverseBatch computes count in-place normalized inverse DFTs over the
+// strided signals x[b*stride : b*stride+n] (see ForwardBatch).
+func (p *Plan) InverseBatch(x []complex64, count, stride int) {
+	p.checkBatch(x, count, stride)
+	inv := float32(1) / float32(p.n)
+	for b := 0; b < count; b++ {
+		s := x[b*stride : b*stride+p.n : b*stride+p.n]
+		p.permute(s)
+		p.butterflies(s, true)
+		for i := range s {
+			s[i] = complex(real(s[i])*inv, imag(s[i])*inv)
 		}
 	}
-	// First stage (h = 1): the only twiddle is unity, so the butterflies
-	// are pure add/subtract pairs — no reason to load and multiply by 1.
+}
+
+// ForwardIQ12 is the fused RX front end: it gathers the n samples that
+// start cpLen samples into a 24-bit IQ payload (i.e. with the cyclic
+// prefix stripped), converting each straight into its permuted position
+// in dst, then runs the butterfly stages. Payload bytes are touched once;
+// the separate unpack, CP-strip copy and permutation passes of the
+// unfused path disappear. The spectrum is bit-identical to
+// cf.UnpackIQ12 + copy + Forward.
+func (p *Plan) ForwardIQ12(dst []complex64, payload []byte, cpLen int) {
+	p.check(dst)
+	if cpLen < 0 || len(payload) < (cpLen+p.n)*cf.BytesPerIQ {
+		panic(fmt.Sprintf("fft: payload %d bytes too small for size %d + CP %d",
+			len(payload), p.n, cpLen))
+	}
+	for i, pi := range p.perm {
+		dst[i] = cf.IQ12At(payload, cpLen+int(pi))
+	}
+	p.butterflies(dst, false)
+}
+
+// butterflies runs the plan's stage schedule over permuted data.
+func (p *Plan) butterflies(x []complex64, inverse bool) {
+	if p.kernel == Radix2 {
+		tw := p.twid
+		if inverse {
+			tw = p.twidInv
+		}
+		p.stages2(x, tw)
+		return
+	}
+	if inverse {
+		p.stages4(x, p.tw4Inv, p.tw2Inv, true)
+	} else {
+		p.stages4(x, p.tw4, p.tw2, false)
+	}
+}
+
+// stages4 runs the split-radix schedule: a unity-twiddle radix-4 first
+// stage, the twiddled radix-4 stages, then the trailing radix-2 stage for
+// odd log2 sizes. The forward butterfly rotates its odd arm by -i
+// (t3 = -i·(b-d)); the inverse rotation by +i is the same arithmetic with
+// the two odd outputs exchanged, so instead of multiplying by ±i the
+// kernel just swaps the q1/q3 write targets — no extra multiplies on
+// either direction.
+func (p *Plan) stages4(x []complex64, tw4, tw2 []complex64, inverse bool) {
+	n := len(x)
+	// First stage (L = 1): all twiddles are unity, so the butterfly is
+	// pure adds plus the implicit rotation — the radix-4 analogue of the
+	// old radix-2 first-stage specialization.
+	if n >= 4 {
+		if inverse {
+			for base := 0; base+3 < n; base += 4 {
+				a, b, c, d := x[base], x[base+1], x[base+2], x[base+3]
+				t0, t1 := a+c, a-c
+				t2 := b + d
+				er, ei := real(b)-real(d), imag(b)-imag(d)
+				x[base] = t0 + t2
+				x[base+3] = complex(real(t1)+ei, imag(t1)-er)
+				x[base+2] = t0 - t2
+				x[base+1] = complex(real(t1)-ei, imag(t1)+er)
+			}
+		} else {
+			for base := 0; base+3 < n; base += 4 {
+				a, b, c, d := x[base], x[base+1], x[base+2], x[base+3]
+				t0, t1 := a+c, a-c
+				t2 := b + d
+				er, ei := real(b)-real(d), imag(b)-imag(d)
+				x[base] = t0 + t2
+				x[base+1] = complex(real(t1)+ei, imag(t1)-er)
+				x[base+2] = t0 - t2
+				x[base+3] = complex(real(t1)-ei, imag(t1)+er)
+			}
+		}
+	}
+	// Remaining radix-4 stages: sub-size L quadruples each stage. The
+	// stage's 3L twiddles are grouped [w1 w2 w3] per butterfly. Splitting
+	// each block into four equal slices drops the bounds checks in the
+	// butterfly loop; the multiplies are written out in float32 components
+	// so the compiler schedules them freely.
+	off := 0
+	r4End := n
+	if p.logN%2 == 1 {
+		r4End = n / 2
+	}
+	for l := 4; 4*l <= r4End; l *= 4 {
+		st := tw4[off : off+3*l : off+3*l]
+		off += 3 * l
+		step := 4 * l
+		for base := 0; base < n; base += step {
+			q0 := x[base : base+l : base+l]
+			q1 := x[base+l : base+2*l : base+2*l]
+			q2 := x[base+2*l : base+3*l : base+3*l]
+			q3 := x[base+3*l : base+4*l : base+4*l]
+			d1, d3 := q1, q3
+			if inverse {
+				d1, d3 = q3, q1
+			}
+			for j := 0; j < l; j++ {
+				w := st[3*j : 3*j+3 : 3*j+3]
+				w1, w2, w3 := w[0], w[1], w[2]
+				v1, v2, v3 := q1[j], q2[j], q3[j]
+				br := real(v1)*real(w1) - imag(v1)*imag(w1)
+				bi := real(v1)*imag(w1) + imag(v1)*real(w1)
+				cr := real(v2)*real(w2) - imag(v2)*imag(w2)
+				ci := real(v2)*imag(w2) + imag(v2)*real(w2)
+				dr := real(v3)*real(w3) - imag(v3)*imag(w3)
+				di := real(v3)*imag(w3) + imag(v3)*real(w3)
+				a := q0[j]
+				ar, ai := real(a), imag(a)
+				t0r, t0i := ar+cr, ai+ci
+				t1r, t1i := ar-cr, ai-ci
+				t2r, t2i := br+dr, bi+di
+				er, ei := br-dr, bi-di
+				q0[j] = complex(t0r+t2r, t0i+t2i)
+				d1[j] = complex(t1r+ei, t1i-er)
+				q2[j] = complex(t0r-t2r, t0i-t2i)
+				d3[j] = complex(t1r-ei, t1i+er)
+			}
+		}
+	}
+	// Trailing radix-2 stage for odd log2 sizes (also the whole transform
+	// when n == 2, where tw2 is the single unity twiddle).
+	if tw2 != nil {
+		h := n / 2
+		lo := x[:h:h]
+		hi := x[h:n:n]
+		for j, w := range tw2[:h] {
+			u := lo[j]
+			v := hi[j] * w
+			lo[j] = u + v
+			hi[j] = u - v
+		}
+	}
+}
+
+// stages2 is the legacy radix-2 stage loop, unchanged from the historical
+// kernel so the ablation path stays bit-identical: a unity first stage,
+// then per-stage twiddled butterflies at doubling distances.
+func (p *Plan) stages2(x []complex64, tw []complex64) {
+	n := len(x)
 	for base := 0; base+1 < n; base += 2 {
 		u, v := x[base], x[base+1]
 		x[base] = u + v
 		x[base+1] = u - v
 	}
-	// Remaining stages. Stage with half-block h combines pairs at distance
-	// h; twiddles for the stage start at offset h-1. Splitting each block
-	// into equal-length lo/hi halves lets the compiler drop the bounds
-	// checks inside the butterfly loop.
 	for h := 2; h < n; h *= 2 {
 		st := tw[h-1 : 2*h-1 : 2*h-1]
 		step := 2 * h

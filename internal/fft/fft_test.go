@@ -2,7 +2,9 @@ package fft
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -17,10 +19,279 @@ func randSignal(rng *rand.Rand, n int) []complex64 {
 	return x
 }
 
+// kernels enumerates both butterfly decompositions for table-driven tests.
+var kernels = []Kernel{SplitRadix, Radix2}
+
 func TestNewPlanRejectsBadSizes(t *testing.T) {
-	for _, n := range []int{0, 1, 3, 6, 100, -8} {
-		if _, err := NewPlan(n); err == nil {
-			t.Errorf("NewPlan(%d) should fail", n)
+	cases := []struct {
+		n    int
+		want string // substring of the error
+	}{
+		{0, "not a power of two"},
+		{1, "not a power of two"},
+		{3, "not a power of two"},
+		{5, "not a power of two"},
+		{6, "not a power of two"},
+		{7, "not a power of two"},
+		{12, "not a power of two"},
+		{100, "not a power of two"},
+		{1000, "not a power of two"},
+		{-8, "not a power of two"},
+		{-1 << 20, "not a power of two"},
+	}
+	for _, k := range kernels {
+		for _, tc := range cases {
+			_, err := NewPlanKernel(tc.n, k)
+			if err == nil {
+				t.Errorf("NewPlanKernel(%d, %v) should fail", tc.n, k)
+				continue
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("NewPlanKernel(%d, %v) error %q, want substring %q", tc.n, k, err, tc.want)
+			}
+		}
+	}
+	if _, err := NewPlanKernel(64, Kernel(42)); err == nil {
+		t.Error("NewPlanKernel with bogus kernel should fail")
+	}
+	if _, err := NewPlan(256); err != nil {
+		t.Errorf("NewPlan(256): %v", err)
+	}
+}
+
+// expectPanic runs f and reports whether it panicked.
+func expectPanic(f func()) (panicked bool) {
+	defer func() { panicked = recover() != nil }()
+	f()
+	return
+}
+
+func TestUndersizedBuffersPanic(t *testing.T) {
+	for _, k := range kernels {
+		p, err := NewPlanKernel(64, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		short := make([]complex64, 63)
+		long := make([]complex64, 65)
+		cases := []struct {
+			name string
+			f    func()
+		}{
+			{"Forward/short", func() { p.Forward(short) }},
+			{"Forward/long", func() { p.Forward(long) }},
+			{"Inverse/short", func() { p.Inverse(short) }},
+			{"InverseNoScale/short", func() { p.InverseNoScale(short) }},
+			{"ForwardBatch/short", func() { p.ForwardBatch(make([]complex64, 2*64-1), 2, 64) }},
+			{"ForwardBatch/stride", func() { p.ForwardBatch(make([]complex64, 256), 2, 63) }},
+			{"ForwardBatch/count", func() { p.ForwardBatch(make([]complex64, 256), -1, 64) }},
+			{"InverseBatch/short", func() { p.InverseBatch(make([]complex64, 100), 2, 70) }},
+			{"ForwardIQ12/dst", func() { p.ForwardIQ12(short, make([]byte, 64*3), 0) }},
+			{"ForwardIQ12/payload", func() { p.ForwardIQ12(make([]complex64, 64), make([]byte, 64*3-1), 0) }},
+			{"ForwardIQ12/cp", func() { p.ForwardIQ12(make([]complex64, 64), make([]byte, 64*3), 4) }},
+			{"ForwardIQ12/negcp", func() { p.ForwardIQ12(make([]complex64, 64), make([]byte, 80*3), -1) }},
+		}
+		for _, tc := range cases {
+			if !expectPanic(tc.f) {
+				t.Errorf("%v/%s: expected panic", k, tc.name)
+			}
+		}
+		// Exactly-sized calls must NOT panic.
+		p.Forward(make([]complex64, 64))
+		p.ForwardBatch(make([]complex64, 64+70), 2, 70)
+		p.InverseBatch(nil, 0, 64)
+		p.ForwardIQ12(make([]complex64, 64), make([]byte, (64+4)*3), 4)
+	}
+}
+
+// TestKernelMatchesNaiveDFTAllSizes pins both kernels against the O(n^2)
+// reference for every power of two 4..4096 — both parities of log2 n, so
+// the pure radix-4 schedule and the trailing radix-2 stage are each
+// exercised at every depth.
+func TestKernelMatchesNaiveDFTAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 4; n <= 4096; n *= 2 {
+		x := randSignal(rng, n)
+		want := DFTNaive(x)
+		for _, k := range kernels {
+			p, err := NewPlanKernel(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := append([]complex64(nil), x...)
+			p.Forward(got)
+			// DFTNaive accumulates in float64; allow float32 butterfly
+			// rounding that grows with transform depth.
+			if d := cf.MaxAbsDiff(got, want); d > 2e-4*float64(n) {
+				t.Errorf("n=%d %v: max diff vs naive DFT %v", n, k, d)
+			}
+		}
+	}
+}
+
+// TestKernelsAgree checks the split-radix and radix-2 kernels against each
+// other (tight tolerance: both are float32 exact-twiddle pipelines).
+func TestKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for n := 2; n <= 4096; n *= 2 {
+		x := randSignal(rng, n)
+		a := append([]complex64(nil), x...)
+		b := append([]complex64(nil), x...)
+		p4, _ := NewPlanKernel(n, SplitRadix)
+		p2, _ := NewPlanKernel(n, Radix2)
+		p4.Forward(a)
+		p2.Forward(b)
+		if d := cf.MaxAbsDiff(a, b); d > 1e-4*math.Sqrt(float64(n)) {
+			t.Errorf("n=%d: kernels disagree by %v", n, d)
+		}
+	}
+}
+
+// legacyTransform is a frozen copy of the pre-split-radix radix-2 code
+// path (bit-reversal swap loop + stage loop). The Radix2 ablation kernel
+// must produce bit-identical spectra to it.
+func legacyTransform(x []complex64, tw []complex64, logN uint) {
+	n := len(x)
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse32(uint32(i)) >> (32 - logN))
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for base := 0; base+1 < n; base += 2 {
+		u, v := x[base], x[base+1]
+		x[base] = u + v
+		x[base+1] = u - v
+	}
+	for h := 2; h < n; h *= 2 {
+		st := tw[h-1 : 2*h-1]
+		step := 2 * h
+		for base := 0; base < n; base += step {
+			lo := x[base : base+h]
+			hi := x[base+h : base+step]
+			for j, w := range st {
+				u := lo[j]
+				v := hi[j] * w
+				lo[j] = u + v
+				hi[j] = u - v
+			}
+		}
+	}
+}
+
+func TestRadix2BitIdenticalToLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for n := 2; n <= 2048; n *= 2 {
+		p, err := NewPlanKernel(n, Radix2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randSignal(rng, n)
+		got := append([]complex64(nil), x...)
+		want := append([]complex64(nil), x...)
+		p.Forward(got)
+		legacyTransform(want, p.twid, p.logN)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d bin %d: %v != legacy %v", n, i, got[i], want[i])
+			}
+		}
+		// Inverse too (unnormalized, to compare raw butterflies).
+		got = append(got[:0], x...)
+		want = append(want[:0], x...)
+		p.InverseNoScale(got)
+		legacyTransform(want, p.twidInv, p.logN)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d inverse bin %d: %v != legacy %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchRoundTrip is the Inverse(Forward(x)) == x property over strided
+// batch layouts: every lane round-trips, and the padding between lanes is
+// untouched.
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, k := range kernels {
+		for _, tc := range []struct{ n, count, stride int }{
+			{64, 1, 64},
+			{64, 4, 64},   // dense
+			{64, 4, 71},   // ragged stride
+			{256, 8, 256}, // antenna batch
+			{512, 3, 512 + 17},
+			{2048, 2, 2048},
+		} {
+			p, err := NewPlanKernel(tc.n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := randSignal(rng, (tc.count-1)*tc.stride+tc.n)
+			orig := append([]complex64(nil), buf...)
+			p.ForwardBatch(buf, tc.count, tc.stride)
+			// Each lane must match a standalone Forward.
+			for b := 0; b < tc.count; b++ {
+				lane := append([]complex64(nil), orig[b*tc.stride:b*tc.stride+tc.n]...)
+				p.Forward(lane)
+				for i := range lane {
+					if lane[i] != buf[b*tc.stride+i] {
+						t.Fatalf("%v n=%d lane %d differs from standalone Forward", k, tc.n, b)
+					}
+				}
+			}
+			p.InverseBatch(buf, tc.count, tc.stride)
+			for b := 0; b < tc.count; b++ {
+				lo, hi := b*tc.stride, b*tc.stride+tc.n
+				if d := cf.MaxAbsDiff(buf[lo:hi], orig[lo:hi]); d > 1e-4*math.Sqrt(float64(tc.n)) {
+					t.Errorf("%v n=%d count=%d stride=%d lane %d roundtrip diff %v",
+						k, tc.n, tc.count, tc.stride, b, d)
+				}
+				// Padding between lanes stays byte-for-byte.
+				if b+1 < tc.count {
+					for i := hi; i < lo+tc.stride; i++ {
+						if buf[i] != orig[i] {
+							t.Fatalf("%v n=%d stride=%d: padding at %d clobbered", k, tc.n, tc.stride, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardIQ12MatchesUnfused checks the fused CP-strip/unpack/permute
+// front end against the three-pass path it replaces, bit for bit.
+func TestForwardIQ12MatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, k := range kernels {
+		for _, tc := range []struct{ n, cp int }{
+			{64, 0}, {64, 16}, {256, 32}, {512, 128}, {2048, 144},
+		} {
+			p, err := NewPlanKernel(tc.n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := tc.n + tc.cp
+			iq := make([]int16, 2*total)
+			for i := range iq {
+				iq[i] = int16(rng.Intn(4096) - 2048)
+			}
+			payload := make([]byte, total*cf.BytesPerIQ)
+			cf.PackIQ12(payload, iq)
+			// Unfused reference: unpack all samples, strip CP, transform.
+			ref := make([]complex64, total)
+			cf.UnpackIQ12(ref, payload)
+			want := append([]complex64(nil), ref[tc.cp:]...)
+			p.Forward(want)
+			got := make([]complex64, tc.n)
+			p.ForwardIQ12(got, payload, tc.cp)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v n=%d cp=%d bin %d: fused %v != unfused %v",
+						k, tc.n, tc.cp, i, got[i], want[i])
+				}
+			}
 		}
 	}
 }
@@ -163,19 +434,88 @@ func TestPlanConcurrentUse(t *testing.T) {
 	}
 }
 
-func BenchmarkFFT2048(b *testing.B) {
-	p := MustPlan(2048)
-	x := randSignal(rand.New(rand.NewSource(1)), 2048)
+// benchForward measures one in-place forward transform of size n.
+func benchForward(b *testing.B, n int, k Kernel) {
+	p, err := NewPlanKernel(n, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randSignal(rand.New(rand.NewSource(1)), n)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Forward(x)
 	}
 }
 
+// The committed split-radix/radix-2 pairs at the OFDM sizes the engine
+// uses (512 = Fig9 cell, 2048 = paper headline) are the ablation numbers
+// DESIGN §10 records.
+func BenchmarkFFT512(b *testing.B)         { benchForward(b, 512, SplitRadix) }
+func BenchmarkFFT1024(b *testing.B)        { benchForward(b, 1024, SplitRadix) }
+func BenchmarkFFT2048(b *testing.B)        { benchForward(b, 2048, SplitRadix) }
+func BenchmarkFFT512_Radix2(b *testing.B)  { benchForward(b, 512, Radix2) }
+func BenchmarkFFT1024_Radix2(b *testing.B) { benchForward(b, 1024, Radix2) }
+func BenchmarkFFT2048_Radix2(b *testing.B) { benchForward(b, 2048, Radix2) }
+
 func BenchmarkIFFT2048(b *testing.B) {
 	p := MustPlan(2048)
 	x := randSignal(rand.New(rand.NewSource(1)), 2048)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p.Inverse(x)
+	}
+}
+
+// BenchmarkIFFTBatch8x512 is the batched-antenna shape runIFFT uses: 8
+// antenna grids transformed through one call. ns/op is per batch.
+func BenchmarkIFFTBatch8x512(b *testing.B) {
+	p := MustPlan(512)
+	x := randSignal(rand.New(rand.NewSource(1)), 8*512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.InverseBatch(x, 8, 512)
+	}
+}
+
+// BenchmarkForwardIQ12_512 is the fused RX front end (CP strip + unpack +
+// permute + transform) vs its unfused counterpart below.
+func BenchmarkForwardIQ12_512(b *testing.B) {
+	const n, cp = 512, 128
+	p := MustPlan(n)
+	rng := rand.New(rand.NewSource(1))
+	iq := make([]int16, 2*(n+cp))
+	for i := range iq {
+		iq[i] = int16(rng.Intn(4096) - 2048)
+	}
+	payload := make([]byte, (n+cp)*cf.BytesPerIQ)
+	cf.PackIQ12(payload, iq)
+	dst := make([]complex64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardIQ12(dst, payload, cp)
+	}
+}
+
+func BenchmarkForwardIQ12_512_Unfused(b *testing.B) {
+	const n, cp = 512, 128
+	p := MustPlan(n)
+	rng := rand.New(rand.NewSource(1))
+	iq := make([]int16, 2*(n+cp))
+	for i := range iq {
+		iq[i] = int16(rng.Intn(4096) - 2048)
+	}
+	payload := make([]byte, (n+cp)*cf.BytesPerIQ)
+	cf.PackIQ12(payload, iq)
+	timeBuf := make([]complex64, n+cp)
+	dst := make([]complex64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.UnpackIQ12(timeBuf, payload)
+		copy(timeBuf, timeBuf[cp:])
+		copy(dst, timeBuf[:n])
+		p.Forward(dst)
 	}
 }

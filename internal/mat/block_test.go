@@ -28,6 +28,10 @@ var blockShapes = []struct{ k, m, b int }{
 	{1, 8, 16}, {2, 8, 16}, {3, 8, 16}, {4, 8, 16}, {16, 64, 16},
 	{4, 16, 1}, {4, 16, 3}, {4, 16, 15}, {4, 16, 64}, {4, 16, 65},
 	{2, 1, 7}, {3, 5, 5}, {16, 3, 9},
+	// Grouped-plan row counts (8/16 users, 12 via the rows%4 rule) against
+	// tail-prone widths that exercise the 16/4/2/1 column cascade.
+	{8, 32, 17}, {8, 8, 2}, {16, 24, 31}, {12, 10, 33}, {16, 64, 48},
+	{5, 7, 17}, {7, 64, 31},
 }
 
 func TestMulBlockIntoMatchesColumnMatVec(t *testing.T) {
@@ -124,6 +128,21 @@ func BenchmarkMulBlockColumnwise(b *testing.B) {
 		for j := 0; j < yt.Rows; j++ {
 			MulVecInto(col, w, yt.Row(j))
 		}
+	}
+}
+
+// BenchmarkMulBlockRows16 tracks the grouped four-row streaming plan on
+// the 16-user equalization shape.
+func BenchmarkMulBlockRows16(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	w := randM(rng, 16, 64)
+	yt := randM(rng, 32, 64)
+	dst := New(16, 32)
+	kern := PlanBlockMul(true, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kern(dst, w, yt)
 	}
 }
 

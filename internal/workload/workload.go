@@ -49,9 +49,8 @@ type Generator struct {
 	userFreq [][]complex64 // per-user frequency-domain data symbol scratch
 	xtFreq   []complex64   // Q×K transposed user band (blocked-mix input)
 	mixFreq  []complex64   // M×Q all-antenna mixed band (blocked-mix output)
-	antFreq  []complex64
-	antTime  []complex64
-	antCP    []complex64 // antTime with the cyclic prefix prepended
+	antGrid  []complex64   // M×OFDMSize lanes, IFFT'd in one batched call
+	antCP    []complex64   // one antenna's time symbol with the cyclic prefix prepended
 	iq       []int16
 	pkt      []byte
 	zcRoot   int
@@ -83,8 +82,7 @@ func NewGenerator(cfg frame.Config, model channel.Model, snrDB float64, seed int
 	}
 	g.xtFreq = make([]complex64, cfg.DataSubcarriers*cfg.Users)
 	g.mixFreq = make([]complex64, cfg.Antennas*cfg.DataSubcarriers)
-	g.antFreq = make([]complex64, cfg.OFDMSize)
-	g.antTime = make([]complex64, cfg.OFDMSize)
+	g.antGrid = make([]complex64, cfg.Antennas*cfg.OFDMSize)
 	g.antCP = make([]complex64, cfg.SamplesPerSymbol())
 	g.iq = make([]int16, 2*cfg.SamplesPerSymbol())
 	g.pkt = make([]byte, 0, fronthaul.PacketSize(cfg.SamplesPerSymbol()))
@@ -296,8 +294,14 @@ func (g *Generator) mixAndEmit(frameID uint32, sym int, emit func([]byte) error)
 		mix := mat.M{Rows: cfg.Antennas, Cols: q, Data: g.mixFreq}
 		mat.MulBlockInto(&mix, g.H, &xt)
 	}
+	// Every antenna's frequency grid goes into one lane of antGrid so a
+	// single batched IFFT transforms the whole symbol: the butterflies run
+	// lane after lane while the twiddle tables stay hot, replacing M
+	// separate Inverse calls.
+	nfft := cfg.OFDMSize
+	cf.Fill(g.antGrid, 0)
 	for a := 0; a < cfg.Antennas; a++ {
-		cf.Fill(g.antFreq, 0)
+		lane := g.antGrid[a*nfft+ds : a*nfft+ds+q]
 		if g.sel != nil {
 			// Frequency-selective: apply the per-subcarrier response.
 			for sc := 0; sc < q; sc++ {
@@ -306,18 +310,20 @@ func (g *Generator) mixAndEmit(frameID uint32, sym int, emit func([]byte) error)
 				for u := 0; u < k; u++ {
 					acc += hrow[u] * g.userFreq[u][ds+sc]
 				}
-				g.antFreq[ds+sc] = acc
+				lane[sc] = acc
 			}
 		} else {
-			copy(g.antFreq[ds:ds+q], g.mixFreq[a*q:(a+1)*q])
+			copy(lane, g.mixFreq[a*q:(a+1)*q])
 		}
-		copy(g.antTime, g.antFreq)
-		g.plan.Inverse(g.antTime)
+	}
+	g.plan.InverseBatch(g.antGrid, cfg.Antennas, nfft)
+	for a := 0; a < cfg.Antennas; a++ {
+		antTime := g.antGrid[a*nfft : (a+1)*nfft]
 		// Prepend the cyclic prefix: the last CPLen time samples repeat
 		// in front, exactly what the engine strips before its FFT.
 		cp := cfg.CPLen
-		copy(g.antCP, g.antTime[cfg.OFDMSize-cp:])
-		copy(g.antCP[cp:], g.antTime)
+		copy(g.antCP, antTime[nfft-cp:])
+		copy(g.antCP[cp:], antTime)
 		// Per-antenna gain, constant over the frame (see computeGains):
 		// lifts the tiny post-IFFT samples into the 12-bit quantizer's
 		// sweet spot without clipping high-power channel rows. The
