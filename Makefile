@@ -32,9 +32,10 @@ baseline:
 
 # Perf guardrail: re-run the end-to-end medians recorded in the committed
 # baseline and fail on >10% regression, so tier-1 catches performance
-# regressions alongside correctness.
+# regressions alongside correctness. Table4_AllOptimizationsOn pins the
+# default engine path (fused SoA demod included) explicitly.
 perf:
-	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json
+	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json -compare-bench 'Table1|Fig9|Table4_AllOptimizationsOn'
 
 clean:
 	$(GO) clean

@@ -189,7 +189,15 @@ func BenchmarkTable4_AllOptimizationsOff(b *testing.B) {
 	benchFrame(b, laptopCfg(), Options{Workers: 2,
 		DisableBatching: true, DisableMemOpt: true, DisableDirectStore: true,
 		DisableInverseOpt: true, DisableJITGemm: true, DisableBlockGemm: true,
-		DisableSIMDConvert: true, DisableSplitRadixFFT: true})
+		DisableSIMDConvert: true, DisableSplitRadixFFT: true,
+		DisableSoALLR: true})
+}
+
+// BenchmarkTable4_AoSLLR isolates the LLR-layout ablation: only the
+// subcarrier-major SoA buffer and the fused equalize+demod kernel revert
+// to the AoS per-user layout, everything else stays optimized.
+func BenchmarkTable4_AoSLLR(b *testing.B) {
+	benchFrame(b, laptopCfg(), Options{Workers: 2, DisableSoALLR: true})
 }
 
 // BenchmarkTable4_Radix2FFT isolates the split-radix engine's ablation:

@@ -41,6 +41,15 @@ type worker struct {
 	ytM, xbM    mat.M           // demod: subcarrier block wrap, output tile
 	xtM, outM   mat.M           // precode: symbol tile, downlink grid wrap
 
+	// SoA LLR state: the fused equalize+demod kernel writes llrSC
+	// directly; the decoder gathers one user's strided lane into
+	// llrGather so the LDPC kernel keeps its contiguous input.
+	soaLLR    bool
+	llrGather []float32
+	// payloadRun collects an antenna run's rxRaw payloads for the batched
+	// pilot front end (one lane per payload).
+	payloadRun [][]byte
+
 	dec    *ldpc.Decoder
 	zfws   *mat.ZFWorkspace
 	matvec mat.MatVecKernel
@@ -92,6 +101,11 @@ func newWorker(id int, e *Engine) *worker {
 		batchLanes = 1
 	}
 	w.ifftBuf = make([]complex64, batchLanes*cfg.OFDMSize)
+	w.payloadRun = make([][]byte, 0, batchLanes)
+	w.soaLLR = !e.opts.DisableSoALLR
+	if w.soaLLR {
+		w.llrGather = make([]float32, e.scUsed*int(cfg.Order))
+	}
 	if e.opts.DisableSIMDConvert {
 		w.unpack = cf.UnpackIQ12Naive
 	} else {
@@ -148,6 +162,47 @@ func (w *worker) runPilotFFT(slot int, sym, ant uint16, pilotIdx int) {
 	b := w.eng.buf
 	w.fftIntoDataBand(b.rxRaw[slot][sym][ant])
 	band := w.freqBuf[cfg.DataStart() : cfg.DataStart()+cfg.DataSubcarriers]
+	w.extractCSI(slot, int(ant), pilotIdx, band)
+}
+
+// runPilotFFTBatch covers a run of count consecutive antennas of one
+// pilot symbol with a single ForwardIQ12Batch call over the worker's lane
+// buffer — the uplink mirror of runIFFTBatch: each lane fuses CP strip,
+// 12-bit unpack and the input permutation, the butterfly passes run back
+// to back while the twiddles are hot, and CSI extraction walks the lanes
+// with the conjugated pilots still cache-resident. Falls back to the
+// per-antenna path when the fused front end is unavailable (ablations,
+// DummyKernels) or the run exceeds the provisioned lanes.
+func (w *worker) runPilotFFTBatch(slot int, sym uint16, ant0, count, pilotIdx int) {
+	e := w.eng
+	cfg := &e.cfg
+	nfft := cfg.OFDMSize
+	if count <= 1 || !w.fuseRX || count*nfft > len(w.ifftBuf) {
+		for i := 0; i < count; i++ {
+			w.runPilotFFT(slot, sym, uint16(ant0+i), pilotIdx)
+		}
+		return
+	}
+	b := e.buf
+	pay := w.payloadRun[:0]
+	for i := 0; i < count; i++ {
+		pay = append(pay, b.rxRaw[slot][sym][ant0+i])
+	}
+	buf := w.ifftBuf[:count*nfft]
+	w.plan.ForwardIQ12Batch(buf, pay, cfg.CPLen, nfft)
+	ds := cfg.DataStart()
+	for l := 0; l < count; l++ {
+		band := buf[l*nfft+ds : l*nfft+ds+cfg.DataSubcarriers]
+		w.extractCSI(slot, ant0+l, pilotIdx, band)
+	}
+}
+
+// extractCSI correlates one antenna's pilot data band against the
+// conjugated pilot sequences and writes row ant of every ZF group's CSI
+// matrix.
+func (w *worker) extractCSI(slot, ant, pilotIdx int, band []complex64) {
+	cfg := &w.eng.cfg
+	b := w.eng.buf
 	groups := cfg.ZFGroups()
 	switch cfg.Pilots {
 	case frame.FreqOrthogonal:
@@ -156,7 +211,7 @@ func (w *worker) runPilotFFT(slot int, sym, ant uint16, pilotIdx int) {
 		// ZFGroupSize, the paper's configuration).
 		for g := 0; g < groups; g++ {
 			lo, hi := b.groupBounds(g)
-			row := b.csi[slot][g].Row(int(ant))
+			row := b.csi[slot][g].Row(ant)
 			for u := 0; u < cfg.Users; u++ {
 				var acc complex64
 				n := 0
@@ -178,7 +233,7 @@ func (w *worker) runPilotFFT(slot int, sym, ant uint16, pilotIdx int) {
 			for sc := lo; sc < hi; sc++ {
 				acc += band[sc] * w.pilotFreq[u][sc]
 			}
-			b.csi[slot][g].Row(int(ant))[u] = acc * complex(1/float32(hi-lo), 0)
+			b.csi[slot][g].Row(ant)[u] = acc * complex(1/float32(hi-lo), 0)
 		}
 	}
 }
@@ -280,6 +335,10 @@ func (w *worker) runDemod(slot int, sym uint16, block int) {
 		w.runDemodScalar(slot, sym, lo, hi)
 		return
 	}
+	if w.soaLLR {
+		w.equalizeDemodBlock(slot, sym, lo, hi)
+		return
+	}
 	b := e.buf
 	m := cfg.Antennas
 	k := cfg.Users
@@ -301,6 +360,53 @@ func (w *worker) runDemod(slot int, sym uint16, block int) {
 		for u := 0; u < k; u++ {
 			w.tab.DemodulateSoftBlock(b.llr[slot][sym][u][s0*order:s1*order],
 				w.xblk[u*nb:(u+1)*nb], nominalNoise)
+		}
+		s0 = s1
+	}
+}
+
+// fuseStripCols is the strip width of the fused equalize+demodulate
+// kernel: narrow enough that the K×strip equalized scratch stays L1/L2
+// resident between the multiply that produces it and the demodulation
+// that consumes it, wide enough to amortize the kernel's per-call setup.
+const fuseStripCols = 16
+
+// equalizeDemodBlock is the fused SoA path of runDemod: it never
+// materializes the full K×B equalized tile. Each ZF-group-aligned
+// sub-block is processed in strips of fuseStripCols subcarriers — one
+// MulBlockInto into a small K×strip scratch, immediately consumed by one
+// DemodulateSoftSoA call that writes all K users' LLRs for those
+// subcarriers as a single contiguous llrSC span. The equalized symbols
+// are demodulated while still cache-hot and are never written back to
+// shared memory; the per-column arithmetic of MulBlockInto is
+// independent of strip width, so the LLRs are bit-identical to the AoS
+// full-tile path.
+func (w *worker) equalizeDemodBlock(slot int, sym uint16, lo, hi int) {
+	e := w.eng
+	cfg := &e.cfg
+	b := e.buf
+	m := cfg.Antennas
+	k := cfg.Users
+	order := int(cfg.Order)
+	dst := b.llrSC[slot][sym]
+	for s0 := lo; s0 < hi; {
+		g := s0 / cfg.ZFGroupSize
+		s1 := (g + 1) * cfg.ZFGroupSize
+		if s1 > hi {
+			s1 = hi
+		}
+		for j0 := s0; j0 < s1; {
+			j1 := j0 + fuseStripCols
+			if j1 > s1 {
+				j1 = s1
+			}
+			ns := j1 - j0
+			w.ytM = mat.M{Rows: ns, Cols: m, Data: b.dataFreqSC[slot][sym][j0*m : j1*m]}
+			w.xbM = mat.M{Rows: k, Cols: ns, Data: w.xblk[:k*ns]}
+			w.blockMul(&w.xbM, b.eq[slot][g], &w.ytM)
+			w.tab.DemodulateSoftSoA(dst[j0*k*order:j1*k*order],
+				w.xblk[:k*ns], k, ns, nominalNoise)
+			j0 = j1
 		}
 		s0 = s1
 	}
@@ -328,6 +434,16 @@ func (w *worker) runDemodScalar(slot int, sym uint16, lo, hi int) {
 		}
 		g := sc / cfg.ZFGroupSize
 		if e.opts.DummyKernels {
+			if w.soaLLR {
+				dst := b.llrSC[slot][sym][sc*k*order : (sc+1)*k*order]
+				for u := 0; u < k; u++ {
+					v := real(w.yvec[u%m])
+					for t := 0; t < order; t++ {
+						dst[u*order+t] = v
+					}
+				}
+				continue
+			}
 			for u := 0; u < k; u++ {
 				off := sc * order
 				for t := 0; t < order; t++ {
@@ -337,6 +453,13 @@ func (w *worker) runDemodScalar(slot int, sym uint16, lo, hi int) {
 			continue
 		}
 		w.matvec(w.xvec, b.eq[slot][g], w.yvec)
+		if w.soaLLR {
+			// One subcarrier is a users×1 tile: the SoA kernel writes all K
+			// users' LLRs for subcarrier sc as one contiguous span.
+			w.tab.DemodulateSoftSoA(b.llrSC[slot][sym][sc*k*order:(sc+1)*k*order],
+				w.xvec[:k], k, 1, nominalNoise)
+			continue
+		}
 		for u := 0; u < k; u++ {
 			w.tab.DemodulateSoft(w.symLLR, w.xvec[u:u+1], nominalNoise)
 			copy(b.llr[slot][sym][u][sc*order:(sc+1)*order], w.symLLR)
@@ -344,12 +467,36 @@ func (w *worker) runDemodScalar(slot int, sym uint16, lo, hi int) {
 	}
 }
 
+// userLLR returns one user's contiguous LLR view for a symbol. With the
+// AoS layout that is simply the user's buffer; with the SoA layout the
+// user's lane is gathered (stride K*order) into the worker's llrGather
+// scratch — the decoder's only extra traffic under the fused layout, one
+// strided read of data the demodulator wrote exactly once.
+func (w *worker) userLLR(slot int, sym uint16, user int) []float32 {
+	e := w.eng
+	b := e.buf
+	if !w.soaLLR {
+		return b.llr[slot][sym][user]
+	}
+	k := e.cfg.Users
+	order := int(e.cfg.Order)
+	src := b.llrSC[slot][sym]
+	dst := w.llrGather
+	o := user * order
+	stride := k * order
+	for sc := 0; sc < e.scUsed; sc++ {
+		copy(dst[sc*order:(sc+1)*order], src[o:o+order])
+		o += stride
+	}
+	return dst
+}
+
 // runDecode decodes one user's code block for one uplink symbol.
 func (w *worker) runDecode(slot int, sym uint16, user int) {
 	e := w.eng
 	b := e.buf
+	llr := w.userLLR(slot, sym, user)
 	if e.opts.DummyKernels {
-		llr := b.llr[slot][sym][user]
 		var s float32
 		for _, v := range llr {
 			s += v
@@ -362,7 +509,7 @@ func (w *worker) runDecode(slot int, sym uint16, user int) {
 		return
 	}
 	res := w.dec.Decode(b.decoded[slot][sym][user],
-		b.llr[slot][sym][user][:e.code.N()], e.cfg.DecodeIter)
+		llr[:e.code.N()], e.cfg.DecodeIter)
 	b.decodeOK[slot][sym][user] = res.OK
 }
 

@@ -37,7 +37,19 @@ type buffers struct {
 	// [slot][symbol][m*Q + sc] over the data band only (Q = data SCs).
 	dataFreqAnt [][][]complex64
 
-	// llr holds soft demodulator output: [slot][symbol][user][bit].
+	// Soft demodulator output, one of two layouts (see DESIGN §11):
+	//
+	// llrSC is the default subcarrier-major SoA layout:
+	// [slot][symbol][(sc*K + user)*order + bit], so the demod output for a
+	// tile of subcarriers [s0,s1) is the single contiguous span
+	// [s0*K*order, s1*K*order) and the fused equalize+demod kernel writes
+	// one stream. Only the scUsed subcarriers that carry code bits are
+	// provisioned. The decoder gathers its per-user codeword view with a
+	// strided copy (stride K*order) into worker scratch.
+	llrSC [][][]float32
+	// llr is the historical AoS (user-major) layout, allocated instead of
+	// llrSC when Options.DisableSoALLR is set: [slot][symbol][user][bit],
+	// contiguous per user, read directly by the decoder.
 	llr [][][][]float32
 
 	// decoded holds uplink hard bits: [slot][symbol][user][K bits], and
@@ -57,7 +69,7 @@ type buffers struct {
 	dlTime [][][][]complex64
 }
 
-func newBuffers(cfg *frame.Config, slots int) *buffers {
+func newBuffers(cfg *frame.Config, slots int, soaLLR bool) *buffers {
 	b := &buffers{cfg: cfg, slots: slots}
 	nSym := cfg.NumSymbols()
 	m := cfg.Antennas
@@ -74,6 +86,7 @@ func newBuffers(cfg *frame.Config, slots int) *buffers {
 	b.pre = make([][]*mat.M, slots)
 	b.dataFreqSC = make([][][]complex64, slots)
 	b.dataFreqAnt = make([][][]complex64, slots)
+	b.llrSC = make([][][]float32, slots)
 	b.llr = make([][][][]float32, slots)
 	b.decoded = make([][][][]byte, slots)
 	b.decodeOK = make([][][]bool, slots)
@@ -87,6 +100,7 @@ func newBuffers(cfg *frame.Config, slots int) *buffers {
 		b.rxRaw[s] = make([][][]byte, nSym)
 		b.dataFreqSC[s] = make([][]complex64, nSym)
 		b.dataFreqAnt[s] = make([][]complex64, nSym)
+		b.llrSC[s] = make([][]float32, nSym)
 		b.llr[s] = make([][][]float32, nSym)
 		b.decoded[s] = make([][][]byte, nSym)
 		b.decodeOK[s] = make([][]bool, nSym)
@@ -105,11 +119,19 @@ func newBuffers(cfg *frame.Config, slots int) *buffers {
 			if st == frame.Uplink {
 				b.dataFreqSC[s][sym] = make([]complex64, q*m)
 				b.dataFreqAnt[s][sym] = make([]complex64, q*m)
-				b.llr[s][sym] = make([][]float32, k)
 				b.decoded[s][sym] = make([][]byte, k)
 				b.decodeOK[s][sym] = make([]bool, k)
+				// Exactly one LLR layout is provisioned per engine: the
+				// two hold the same k*llrBits floats, just transposed.
+				if soaLLR {
+					b.llrSC[s][sym] = make([]float32, k*llrBits)
+				} else {
+					b.llr[s][sym] = make([][]float32, k)
+					for u := 0; u < k; u++ {
+						b.llr[s][sym][u] = make([]float32, llrBits)
+					}
+				}
 				for u := 0; u < k; u++ {
-					b.llr[s][sym][u] = make([]float32, llrBits)
 					b.decoded[s][sym][u] = make([]byte, code.K())
 				}
 			}

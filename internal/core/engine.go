@@ -183,7 +183,7 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 	}
 	e.scUsed = (e.code.N() + int(cfg.Order) - 1) / int(cfg.Order)
 	e.dlGain = 0.25 // keeps 12-bit TX quantization comfortable
-	e.buf = newBuffers(&e.cfg, opts.Slots)
+	e.buf = newBuffers(&e.cfg, opts.Slots, !opts.DisableSoALLR)
 	e.slotOwner = make([]atomic.Uint32, opts.Slots)
 	e.rxSeen = make([][][]atomic.Bool, opts.Slots)
 	for s := range e.rxSeen {
@@ -666,11 +666,15 @@ func (e *Engine) execute(w *worker, m queue.Msg) {
 		w.runIFFTBatch(slot, m.Symbol, int(m.TaskIdx), batch)
 		return
 	}
+	if m.Type == queue.TaskPilotFFT {
+		// Same property on the uplink: a pilot message's antennas are
+		// consecutive, so the whole run is one batched front-end call.
+		w.runPilotFFTBatch(slot, m.Symbol, int(m.TaskIdx), batch, e.pilotIndex(m.Symbol))
+		return
+	}
 	for i := 0; i < batch; i++ {
 		idx := int(m.TaskIdx) + i
 		switch m.Type {
-		case queue.TaskPilotFFT:
-			e.executePilotFFT(w, slot, m.Symbol, uint16(idx))
 		case queue.TaskZF:
 			w.runZF(slot, idx)
 		case queue.TaskFFT:
@@ -695,13 +699,14 @@ func (e *Engine) execute(w *worker, m queue.Msg) {
 	}
 }
 
-func (e *Engine) executePilotFFT(w *worker, slot int, sym, ant uint16) {
-	// Pilot index = position of sym among pilot symbols.
+// pilotIndex returns the position of pilot symbol sym among the frame's
+// pilot symbols (the time-orthogonal pilot's user index).
+func (e *Engine) pilotIndex(sym uint16) int {
 	pi := 0
 	for s := 0; s < int(sym); s++ {
 		if e.cfg.SymbolAt(s) == frame.Pilot {
 			pi++
 		}
 	}
-	w.runPilotFFT(slot, sym, ant, pi)
+	return pi
 }

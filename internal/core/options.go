@@ -3,6 +3,29 @@
 // baseband tasks across workers with data parallelism first (paper §3).
 // A pipeline-parallel variant (§5.4) shares the same kernels and buffers
 // but statically partitions workers among blocks.
+//
+// Buffer layouts (see DESIGN §§9 and 11). Tasks of one block always write
+// disjoint regions of the preallocated per-slot buffers, so the hot path
+// takes no locks and allocates nothing:
+//
+//   - dataFreqSC, the post-FFT uplink grid, is subcarrier-major
+//     ([sc*M + m]): B consecutive subcarriers form a contiguous B×M
+//     row-major matrix that the blocked equalizer wraps in place.
+//   - llrSC, the demodulator output, is subcarrier-major SoA
+//     ([(sc*K + user)*order + bit]): the LLRs for a tile of subcarriers
+//     are one contiguous span, written in a single pass by the fused
+//     equalize+demod kernel. The decoder gathers its per-user codeword
+//     view with a strided copy. Options.DisableSoALLR reverts to the AoS
+//     per-user layout (llr, [user][sc*order + bit]).
+//   - dlFreq, the precoded downlink grid, is subcarrier-major like
+//     dataFreqSC; precode tiles write it in place and IFFT gathers per
+//     antenna.
+//
+// Kernel entry points live in blocks.go: runPilotFFT(+Batch), runZF,
+// runFFT, runDemod (fused equalizeDemodBlock / blocked AoS /
+// runDemodScalar), runDecode, runEncode, runPrecode, runIFFT(+Batch).
+// Every path has a Table-4-style ablation toggle in Options so layout
+// and kernel changes stay measurable pairs.
 package core
 
 import (
@@ -74,6 +97,14 @@ type Options struct {
 	// that ride on them, reverting to one matvec and one (de)modulation
 	// call per subcarrier.
 	DisableBlockGemm bool
+
+	// DisableSoALLR turns off the subcarrier-major SoA LLR layout and the
+	// fused equalize+demodulate kernel that writes it, reverting to the
+	// AoS per-user LLR buffers: the equalized tile is materialized in
+	// full, then re-read once per user to scatter each user's LLR run.
+	// LLRs (and decode results) are bit-identical between the two
+	// layouts; only the traversal and memory traffic differ.
+	DisableSoALLR bool
 
 	// DisableSIMDConvert replaces the word-packed IQ conversion with the
 	// byte-at-a-time version (§4, data type conversions). It also precludes

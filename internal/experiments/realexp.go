@@ -201,6 +201,7 @@ func Table4(w io.Writer, o Opt) error {
 		{"JIT gemm off", with(base, func(op *core.Options) { op.DisableJITGemm = true })},
 		{"SIMD convert off", with(base, func(op *core.Options) { op.DisableSIMDConvert = true })},
 		{"split-radix FFT off", with(base, func(op *core.Options) { op.DisableSplitRadixFFT = true })},
+		{"SoA LLR off", with(base, func(op *core.Options) { op.DisableSoALLR = true })},
 		{"real-time mode on", with(base, func(op *core.Options) { op.RealTime = true })},
 	}
 	fmt.Fprintf(w, "%-20s %-10s %-8s %-10s %-8s\n", "configuration", "median", "ratio", "p99.9", "ratio")

@@ -328,6 +328,27 @@ func (p *Plan) ForwardIQ12(dst []complex64, payload []byte, cpLen int) {
 	p.butterflies(dst, false)
 }
 
+// ForwardIQ12Batch runs the fused RX front end (ForwardIQ12) over a run
+// of payloads, one strided lane per payload: lane b fills
+// x[b*stride : b*stride+n] by gathering payload b's post-CP samples
+// straight into permuted order, then the butterfly passes run
+// back-to-back while the twiddle tables are hot. Each lane's spectrum is
+// bit-identical to a standalone ForwardIQ12 call.
+func (p *Plan) ForwardIQ12Batch(x []complex64, payloads [][]byte, cpLen, stride int) {
+	p.checkBatch(x, len(payloads), stride)
+	for b, payload := range payloads {
+		if cpLen < 0 || len(payload) < (cpLen+p.n)*cf.BytesPerIQ {
+			panic(fmt.Sprintf("fft: payload %d bytes too small for size %d + CP %d",
+				len(payload), p.n, cpLen))
+		}
+		s := x[b*stride : b*stride+p.n : b*stride+p.n]
+		for i, pi := range p.perm {
+			s[i] = cf.IQ12At(payload, cpLen+int(pi))
+		}
+		p.butterflies(s, false)
+	}
+}
+
 // butterflies runs the plan's stage schedule over permuted data.
 func (p *Plan) butterflies(x []complex64, inverse bool) {
 	if p.kernel == Radix2 {

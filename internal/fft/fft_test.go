@@ -296,6 +296,66 @@ func TestForwardIQ12MatchesUnfused(t *testing.T) {
 	}
 }
 
+// TestForwardIQ12BatchMatchesSingle checks that each lane of the batched
+// fused front end is bit-identical to a standalone ForwardIQ12 call, over
+// lane counts that exercise a spare-stride layout and short payloads that
+// must panic.
+func TestForwardIQ12BatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, k := range kernels {
+		for _, tc := range []struct{ n, cp, lanes int }{
+			{64, 16, 1}, {256, 32, 3}, {512, 128, 4},
+		} {
+			p, err := NewPlanKernel(tc.n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := tc.n + tc.cp
+			payloads := make([][]byte, tc.lanes)
+			for l := range payloads {
+				iq := make([]int16, 2*total)
+				for i := range iq {
+					iq[i] = int16(rng.Intn(4096) - 2048)
+				}
+				payloads[l] = make([]byte, total*cf.BytesPerIQ)
+				cf.PackIQ12(payloads[l], iq)
+			}
+			stride := tc.n + 8 // spare room between lanes must stay untouched
+			got := make([]complex64, (tc.lanes-1)*stride+tc.n+8)
+			for i := range got {
+				got[i] = complex(-1, -1)
+			}
+			p.ForwardIQ12Batch(got, payloads, tc.cp, stride)
+			want := make([]complex64, tc.n)
+			for l := 0; l < tc.lanes; l++ {
+				p.ForwardIQ12(want, payloads[l], tc.cp)
+				lane := got[l*stride : l*stride+tc.n]
+				for i := range lane {
+					if lane[i] != want[i] {
+						t.Fatalf("%v n=%d cp=%d lane %d bin %d: batch %v != single %v",
+							k, tc.n, tc.cp, l, i, lane[i], want[i])
+					}
+				}
+				// Gap samples after the lane must be untouched.
+				for i := l*stride + tc.n; i < (l+1)*stride && i < len(got); i++ {
+					if got[i] != complex(-1, -1) {
+						t.Fatalf("lane %d wrote past its stride at %d", l, i)
+					}
+				}
+			}
+			// A short payload must panic, like ForwardIQ12.
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("short payload did not panic")
+					}
+				}()
+				p.ForwardIQ12Batch(got, [][]byte{payloads[0][:4]}, tc.cp, stride)
+			}()
+		}
+	}
+}
+
 func TestForwardMatchesNaiveDFT(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, n := range []int{2, 4, 8, 16, 64, 256} {

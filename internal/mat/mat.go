@@ -4,11 +4,23 @@
 //   - dense complex64 matrices with row-major storage,
 //   - GEMM with a generic kernel plus fully-unrolled size-specialized
 //     kernels selected at plan time (the analogue of MKL's JIT GEMM),
+//   - blocked BLAS-3 kernels (block.go): MulBlockInto computes
+//     dst = w·ytᵀ over a whole multi-subcarrier tile, with the right
+//     operand transposed so the engine's subcarrier-major buffers wrap
+//     in place as the B×M operand — no gather, copy or allocation
+//     (DESIGN §9). PlanBlockMul extends the JIT-style plan registry to
+//     these kernels.
 //   - Gauss–Jordan inversion with partial pivoting (complex128 internally),
 //   - the direct zero-forcing pseudo-inverse W = (HᴴH)⁻¹Hᴴ,
 //   - a one-sided Jacobi SVD and an SVD-based pseudo-inverse (the
 //     numerically-robust-but-slow baseline from paper §4.2),
 //   - condition-number estimation.
+//
+// Every blocked kernel computes each output column from an independent
+// pass over the corresponding yt row (split real/imaginary float32
+// accumulators, ascending inner index), so results are bit-identical
+// regardless of how a caller tiles the column range — the property the
+// engine's fused equalize+demod strips rely on (DESIGN §11).
 //
 // Matrices are small (K ≤ 64, M ≤ 256) and owned by one task at a time, so
 // no internal locking is needed.

@@ -59,6 +59,41 @@ func (t *Table) axisLLR(dst []float32, x float32, invNoise float32, d2 *[16]floa
 	}
 }
 
+// DemodulateSoftSoA computes max-log-MAP LLRs for a user-major tile of
+// equalized symbols and writes them in subcarrier-major (SoA) order: the
+// tile holds users×nsc symbols with user u's run of nsc subcarriers at
+// tile[u*nsc : (u+1)*nsc] — exactly the output layout of mat.MulBlockInto
+// — and dst receives, for each subcarrier j, all users' LLRs contiguously
+// at dst[(j*users+u)*BitsPerSymbol : ...]. One call consumes the whole
+// equalized tile column-wise in a single pass, so the fused
+// equalize+demodulate block never revisits the tile per user the way the
+// AoS layout forced. The per-symbol arithmetic is axisLLR, shared with
+// DemodulateSoftBlock, so each symbol's LLRs are bit-identical between
+// the two layouts. len(dst) must be >= users*nsc*BitsPerSymbol.
+func (t *Table) DemodulateSoftSoA(dst []float32, tile []complex64, users, nsc int, noiseVar float32) {
+	b := t.BitsPerSymbol() / 2
+	if len(tile) < users*nsc {
+		panic("modulation: DemodulateSoftSoA tile too small")
+	}
+	if len(dst) < users*nsc*2*b {
+		panic("modulation: DemodulateSoftSoA dst too small")
+	}
+	if noiseVar <= 0 {
+		noiseVar = 1e-6
+	}
+	inv := 1 / noiseVar
+	var d2 [16]float32
+	o := 0
+	for j := 0; j < nsc; j++ {
+		for u := 0; u < users; u++ {
+			v := tile[u*nsc+j]
+			t.axisLLR(dst[o:o+b], real(v), inv, &d2)
+			t.axisLLR(dst[o+b:o+2*b], imag(v), inv, &d2)
+			o += 2 * b
+		}
+	}
+}
+
 // ModulateBlock maps the symbol range [first, first+len(dst)) of a user's
 // coded bit stream to constellation points in one call. Bits beyond
 // len(bits) are treated as zero, matching the per-subcarrier padding the

@@ -150,6 +150,59 @@ func TestModulateBlockZeroPadsTail(t *testing.T) {
 	}
 }
 
+// TestDemodulateSoftSoAMatchesBlock checks the subcarrier-major kernel
+// against the user-major one symbol by symbol: the SoA entry at
+// [(j*users+u)*order] must be bit-identical to demodulating user u's run
+// with DemodulateSoftBlock, across orders, user counts and tile widths
+// (including width 1, the scalar engine path, and non-multiples of 4).
+func TestDemodulateSoftSoAMatchesBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for _, o := range allOrders {
+		tab := Get(o)
+		order := int(o)
+		for _, users := range []int{1, 2, 5} {
+			for _, nsc := range []int{1, 3, 13, 16} {
+				tile := noisySymbols(tab, rng, users*nsc)
+				soa := make([]float32, users*nsc*order)
+				tab.DemodulateSoftSoA(soa, tile, users, nsc, 0.1)
+				aos := make([]float32, nsc*order)
+				for u := 0; u < users; u++ {
+					tab.DemodulateSoftBlock(aos, tile[u*nsc:(u+1)*nsc], 0.1)
+					for j := 0; j < nsc; j++ {
+						for k := 0; k < order; k++ {
+							got := soa[(j*users+u)*order+k]
+							if got != aos[j*order+k] {
+								t.Fatalf("%v users=%d nsc=%d u=%d sc=%d bit=%d: SoA %g != AoS %g",
+									o, users, nsc, u, j, k, got, aos[j*order+k])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDemodulateSoftSoAPanics(t *testing.T) {
+	tab := Get(QPSK)
+	tile := make([]complex64, 4)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("short tile", func() {
+		tab.DemodulateSoftSoA(make([]float32, 16), tile, 2, 3, 0.1)
+	})
+	expectPanic("short dst", func() {
+		tab.DemodulateSoftSoA(make([]float32, 7), tile, 2, 2, 0.1)
+	})
+}
+
 func BenchmarkDemodulateSoftBlock(b *testing.B) {
 	tab := Get(QAM64)
 	rng := rand.New(rand.NewSource(44))
@@ -173,6 +226,21 @@ func BenchmarkDemodulateSoftPerSymbol(b *testing.B) {
 		for s := range syms {
 			tab.DemodulateSoft(dst, syms[s:s+1], 0.1)
 		}
+	}
+}
+
+// BenchmarkDemodulateSoftSoA covers the fused path's tile shape: a
+// 16-user × 16-subcarrier strip written as one SoA span.
+func BenchmarkDemodulateSoftSoA(b *testing.B) {
+	tab := Get(QAM64)
+	rng := rand.New(rand.NewSource(44))
+	users, nsc := 16, 16
+	tile := noisySymbols(tab, rng, users*nsc)
+	dst := make([]float32, users*nsc*tab.BitsPerSymbol())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.DemodulateSoftSoA(dst, tile, users, nsc, 0.1)
 	}
 }
 

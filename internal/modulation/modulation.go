@@ -6,6 +6,25 @@
 // Bit convention: for 2B-bit QAM, the first B bits select the I (real)
 // coordinate and the last B bits the Q (imaginary) coordinate, each Gray
 // coded. Constellations are normalized to unit average energy.
+//
+// Kernel entry points. Per-symbol Modulate/Demodulate/DemodulateSoft are
+// the scalar forms; the engine's blocked paths call the batched kernels
+// in block.go, which differ only in traversal order, never in per-symbol
+// arithmetic:
+//
+//   - ModulateBlock maps one user's coded-bit range to a run of
+//     constellation points (codeword tail zero-padded).
+//   - DemodulateSoftBlock writes one user's LLRs for a run of symbols
+//     contiguously — the AoS (user-major) layout, where the LLR buffer is
+//     indexed [user][sc*bits+t].
+//   - DemodulateSoftSoA consumes a users×nsc equalized tile (the
+//     mat.MulBlockInto output, user-major rows) column-wise and writes
+//     the subcarrier-major SoA layout [sc][user][bit] in a single pass:
+//     the demod output for a tile of subcarriers is one contiguous span.
+//
+// All soft kernels share axisLLR, so LLRs are bit-identical across
+// layouts — the property the core engine's DisableSoALLR ablation (and
+// its equivalence test) relies on.
 package modulation
 
 import (
