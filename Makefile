@@ -16,10 +16,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Short-mode race pass over the concurrency-heavy packages: the MPMC
-# queues and the manager-worker engine are where a data race would hide.
+# Short-mode race pass over every internal package. The MPMC queues, the
+# manager-worker engine and the obs tracer/metrics are where a data race
+# would hide; TestMetricsSnapshotLive exercises the mid-run TaskStats /
+# MetricsSnapshot readers against running workers under the detector.
 race:
-	$(GO) test -race -short ./internal/queue ./internal/core
+	$(GO) test -race -short ./internal/...
 
 # Key benchmarks (the ones BENCH_BASELINE.json regression checks target).
 bench:

@@ -32,6 +32,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/fronthaul"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -82,6 +83,17 @@ type (
 	SimConfig = sim.Config
 	// SimResult is the simulator's output.
 	SimResult = sim.Result
+	// TraceEvent is one tracer record: lane, task, frame coordinates and
+	// start/end timestamps (ns since the engine's trace epoch).
+	TraceEvent = obs.Event
+	// Timeline is the reconstructed multi-frame schedule: per-frame stage
+	// spans (Fig. 7), worker utilization and idle gaps.
+	Timeline = obs.Timeline
+	// Metrics is the engine's live, race-safe counter set (frames,
+	// deadline misses, latency histogram, queue-depth gauges).
+	Metrics = obs.Metrics
+	// MetricsSnapshot is the JSON-friendly view expvar publishes.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Scheduling modes.

@@ -207,6 +207,38 @@ func BenchmarkTable4_Radix2FFT(b *testing.B) {
 	benchFrame(b, laptopCfg(), Options{Workers: 2, DisableSplitRadixFFT: true})
 }
 
+// BenchmarkTracerOverhead_On / _Off bound the cost of the per-worker
+// event tracer on the Table-1 workload: _On is the default engine (ring
+// emission enabled), _Off sets Options.DisableTracing. Each iteration
+// runs 16 frames through one engine so the one-time ring allocation is
+// amortized the way a long-lived deployment amortizes it, and the delta
+// isolates the per-event hot-path cost (<2%, see EXPERIMENTS.md). The
+// emit path itself allocates nothing (TestEmitZeroAlloc pins 0 B/op).
+func BenchmarkTracerOverhead_On(b *testing.B) {
+	benchTracerOverhead(b, false)
+}
+
+// BenchmarkTracerOverhead_Off is the ablation: tracing disabled.
+func BenchmarkTracerOverhead_Off(b *testing.B) {
+	benchTracerOverhead(b, true)
+}
+
+func benchTracerOverhead(b *testing.B, disable bool) {
+	b.Helper()
+	b.ReportAllocs()
+	const framesPerRun = 16
+	for i := 0; i < b.N; i++ {
+		sum, err := RunUplink(laptopCfg(), Options{Workers: 2, DisableTracing: disable},
+			Rayleigh, 25, framesPerRun, false, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Drops > 0 {
+			b.Fatalf("dropped packets: %d", sum.Drops)
+		}
+	}
+}
+
 // BenchmarkTable5_ServerProfiles runs the cost-scaled profile comparison.
 func BenchmarkTable5_ServerProfiles(b *testing.B) {
 	for i := 0; i < b.N; i++ {

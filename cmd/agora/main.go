@@ -9,9 +9,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -metrics-addr serves /debug/pprof alongside /debug/vars
 	"os"
 	"os/signal"
 	"runtime"
@@ -29,6 +32,9 @@ func main() {
 		scale   = flag.String("scale", "small", "cell preset: small (16x4) or paper (64x16)")
 		cfgPath = flag.String("config", "", "JSON cell configuration file (overrides -scale)")
 		rt      = flag.Bool("realtime", false, "lock workers to OS threads, relax GC")
+		metrics = flag.String("metrics-addr", "", "serve live metrics (expvar /debug/vars) and pprof on this address")
+		traceF  = flag.String("trace", "", "write the captured frame window as Chrome trace_event JSON on shutdown")
+		noTrace = flag.Bool("no-trace", false, "disable the per-worker event tracer")
 	)
 	flag.Parse()
 
@@ -46,12 +52,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := agora.New(cfg, agora.Options{Workers: *workers, RealTime: *rt}, tr)
+	eng, err := agora.New(cfg, agora.Options{
+		Workers: *workers, RealTime: *rt, DisableTracing: *noTrace,
+	}, tr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("agora: %s\n", cfg.String())
 	fmt.Printf("agora: listening on %s with %d workers\n", *listen, *workers)
+	if *metrics != "" {
+		// expvar registers /debug/vars and net/http/pprof /debug/pprof on
+		// the default mux; the snapshot merges live counters with the
+		// per-task cost table (safe to read mid-run).
+		expvar.Publish("agora", expvar.Func(func() any { return eng.MetricsSnapshot() }))
+		go func() {
+			fmt.Printf("agora: metrics on http://%s/debug/vars (pprof on /debug/pprof)\n", *metrics)
+			if err := http.ListenAndServe(*metrics, nil); err != nil {
+				log.Printf("agora: metrics server: %v", err)
+			}
+		}()
+	}
 	eng.Start()
 
 	sig := make(chan os.Signal, 1)
@@ -73,7 +93,17 @@ func main() {
 			}
 		case <-sig:
 			eng.Stop()
+			if *traceF != "" {
+				if err := writeTrace(eng, *traceF); err != nil {
+					log.Printf("agora: trace export: %v", err)
+				} else {
+					fmt.Printf("agora: wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceF)
+				}
+			}
+			m := eng.Metrics()
 			fmt.Printf("\nagora: processed %d frames\n", frames)
+			fmt.Printf("agora: deadline misses %d (budget %v)\n",
+				m.DeadlineMiss.Load(), time.Duration(m.FrameBudgetNS.Load()))
 			fmt.Printf("agora: latency %s\n", lat.Summary())
 			fmt.Printf("agora: blocks decoded %d/%d, packet drops %d\n", ok, total, eng.Drops())
 			fmt.Println("agora: per-task costs:")
@@ -90,6 +120,19 @@ func main() {
 			fmt.Println("agora: idle (waiting for fronthaul traffic)...")
 		}
 	}
+}
+
+// writeTrace dumps the engine's captured event window (call after Stop).
+func writeTrace(eng *agora.Engine, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func presetConfig(scale string) agora.Config {

@@ -48,6 +48,8 @@ func main() {
 		blNote    = flag.String("baseline-note", "", "free-form provenance note stored in the baseline")
 		blOut     = flag.String("baseline-out", "BENCH_BASELINE.json", "output path ('-' for stdout)")
 
+		stages = flag.String("stages", "", "capture a traced uplink run and write the per-stage breakdown JSON (Table-2 analogue) to this path ('-' for stdout)")
+
 		compare  = flag.String("compare", "", "baseline JSON to check for regressions (exits non-zero on >tolerance median regression)")
 		cmpBench = flag.String("compare-bench", "Table1|Fig9", "benchmark regexp re-run for the comparison")
 		cmpCount = flag.Int("compare-count", 3, "samples per benchmark for the comparison")
@@ -59,6 +61,13 @@ func main() {
 	if *baseline {
 		if err := runBaseline(blInputs, *blPattern, *blCount, *blNote, *blOut); err != nil {
 			fmt.Fprintf(os.Stderr, "baseline failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *stages != "" {
+		if err := runStages(*stages, *full, *frames, *workers, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "stages failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -8,8 +8,8 @@ import (
 	"repro/internal/ldpc"
 	"repro/internal/mat"
 	"repro/internal/modulation"
+	"repro/internal/obs"
 	"repro/internal/queue"
-	"repro/internal/stats"
 )
 
 // worker holds one worker's private scratch so task execution allocates
@@ -60,7 +60,7 @@ type worker struct {
 
 	pilotFreq [][]complex64 // conj of each user's pilot over the data band
 
-	perTask [queue.NumTaskTypes]stats.Acc
+	perTask [queue.NumTaskTypes]obs.TaskAcc
 }
 
 func newWorker(id int, e *Engine) *worker {

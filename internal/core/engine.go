@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/fronthaul"
 	"repro/internal/ldpc"
+	"repro/internal/obs"
 	"repro/internal/queue"
 )
 
@@ -70,6 +72,15 @@ type Engine struct {
 
 	workers   []*worker
 	pollOrder [][]queue.TaskType
+
+	// Observability (see internal/obs): trace is the per-worker event
+	// tracer (nil when Options.DisableTracing), met the always-on live
+	// counter set, txAcc the network-TX cost accumulator (the TX thread
+	// has no worker), and txLane the TX thread's trace lane.
+	trace  *obs.Tracer
+	met    obs.Metrics
+	txAcc  obs.TaskAcc
+	txLane int
 
 	slotOwner []atomic.Uint32 // frame id + 1, 0 = free
 	// rxSeen dedupes fronthaul packets per (slot, symbol, antenna) BEFORE
@@ -208,6 +219,13 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 	}
 	e.initMACPattern()
 	e.buildPollOrders()
+	e.met.FrameBudgetNS.Store(cfg.FrameDuration().Nanoseconds())
+	e.txLane = opts.Workers
+	if !opts.DisableTracing {
+		// One lane per worker plus one for the network TX thread; lanes
+		// are single-writer so emission stays lock- and allocation-free.
+		e.trace = obs.NewTracer(opts.Workers+1, opts.TraceCapacity, time.Now())
+	}
 	for i := 0; i < opts.Workers; i++ {
 		e.workers = append(e.workers, newWorker(i, e))
 	}
@@ -440,39 +458,80 @@ func (e *Engine) Stop() {
 	close(e.results)
 }
 
-// TaskStats merges per-worker task cost accumulators (call after Stop or
-// during a quiescent period).
+// TaskStats merges the per-worker task cost accumulators into per-type
+// summaries. It is safe to call at ANY time, including while the engine is
+// running: each accumulator has a single writer (its worker) and atomically
+// readable state, so this returns a monotone snapshot rather than racing
+// the workers. Mid-run, a worker caught between updates may contribute a
+// count that lags its sums by one sample — far below the reported
+// resolution. Call after Stop for the run's final totals.
 func (e *Engine) TaskStats() map[queue.TaskType]TaskStat {
 	out := make(map[queue.TaskType]TaskStat)
 	for t := queue.TaskType(0); t < queue.NumTaskTypes; t++ {
-		n := 0
-		totalUS := 0.0
+		var n int64
+		var sum, sum2 float64
 		for _, w := range e.workers {
-			a := &w.perTask[t]
-			n += a.N()
-			totalUS += a.Mean() * float64(a.N())
+			wn, ws, ws2 := w.perTask[t].Snapshot()
+			n += wn
+			sum += ws
+			sum2 += ws2
+		}
+		if t == queue.TaskPacketTX {
+			tn, ts, ts2 := e.txAcc.Snapshot()
+			n += tn
+			sum += ts
+			sum2 += ts2
 		}
 		if n == 0 {
 			continue
 		}
-		mean := totalUS / float64(n)
-		// Pooled variance: per-worker variance plus between-worker spread.
-		var varAcc float64
-		for _, w := range e.workers {
-			a := &w.perTask[t]
-			if a.N() > 0 {
-				d := a.Mean() - mean
-				varAcc += float64(a.N()) * (a.Std()*a.Std() + d*d)
-			}
+		mean := sum / float64(n)
+		variance := sum2/float64(n) - mean*mean // population, as the old pooled form
+		if variance < 0 {
+			variance = 0
 		}
 		out[t] = TaskStat{
-			Count:   n,
+			Count:   int(n),
 			MeanUS:  mean,
-			StdUS:   math.Sqrt(varAcc / float64(n)),
-			TotalMS: totalUS / 1000,
+			StdUS:   math.Sqrt(variance),
+			TotalMS: sum / 1000,
 		}
 	}
 	return out
+}
+
+// Metrics exposes the engine's live, race-safe counters and gauges
+// (frame/drop/deadline counts, latency histogram, sampled queue depths).
+func (e *Engine) Metrics() *obs.Metrics { return &e.met }
+
+// MetricsSnapshot builds the JSON-friendly snapshot cmd/agora publishes
+// over expvar: live counters plus the per-task cost table. Safe mid-run.
+func (e *Engine) MetricsSnapshot() obs.Snapshot {
+	s := e.met.Snap()
+	for t, st := range e.TaskStats() {
+		s.Tasks[t.String()] = obs.TaskSnap{
+			Count: int64(st.Count), MeanUS: st.MeanUS, TotalMS: st.TotalMS,
+		}
+	}
+	return s
+}
+
+// TracingEnabled reports whether the event tracer is capturing.
+func (e *Engine) TracingEnabled() bool { return e.trace.Enabled() }
+
+// TraceEvents returns the captured event window sorted by start time.
+// Call after Stop: the rings are single-writer plain memory, readable
+// only at quiescence (live dashboards should use Metrics instead).
+func (e *Engine) TraceEvents() []obs.Event { return e.trace.Snapshot() }
+
+// Timeline reconstructs per-frame stage spans and worker utilization
+// from the captured trace. Call after Stop.
+func (e *Engine) Timeline() *obs.Timeline { return obs.Reconstruct(e.TraceEvents()) }
+
+// WriteChromeTrace renders the captured trace window as Chrome
+// trace_event JSON (chrome://tracing, Perfetto). Call after Stop.
+func (e *Engine) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, e.TraceEvents())
 }
 
 // InjectPacket feeds one fronthaul packet directly (test hook bypassing
@@ -581,6 +640,7 @@ func (e *Engine) runNetTX() {
 				continue
 			}
 		}
+		start := time.Now()
 		h := fronthaul.Header{
 			Frame:   m.Frame,
 			Symbol:  m.Symbol,
@@ -590,6 +650,15 @@ func (e *Engine) runNetTX() {
 		}
 		pkt := fronthaul.BuildPacket(buf, iq, h, e.buf.dlTime[m.Slot][m.Symbol][m.TaskIdx])
 		_ = e.tr.Send(pkt)
+		end := time.Now()
+		e.txAcc.Add(float64(end.Sub(start).Nanoseconds()) / 1000)
+		if e.trace != nil {
+			e.trace.Emit(obs.Event{
+				Start: e.trace.Stamp(start), End: e.trace.Stamp(end),
+				Frame: m.Frame, Symbol: m.Symbol, TaskIdx: m.TaskIdx,
+				Lane: uint16(e.txLane), Type: queue.TaskPacketTX, Batch: 1,
+			})
+		}
 		comp := m
 		comp.Batch = 1
 		for !e.compQ.TryEnqueue(comp) {
@@ -638,14 +707,20 @@ func (e *Engine) runWorker(w *worker) {
 		idle = 0
 		start := time.Now()
 		e.execute(w, m)
-		el := time.Since(start)
+		end := time.Now()
+		el := end.Sub(start)
 		batch := int(m.Batch)
 		if batch < 1 {
 			batch = 1
 		}
 		perTask := float64(el.Nanoseconds()) / 1000 / float64(batch)
-		for i := 0; i < batch; i++ {
-			w.perTask[m.Type].Add(perTask)
+		w.perTask[m.Type].AddN(batch, perTask)
+		if e.trace != nil {
+			e.trace.Emit(obs.Event{
+				Start: e.trace.Stamp(start), End: e.trace.Stamp(end),
+				Frame: m.Frame, Symbol: m.Symbol, TaskIdx: m.TaskIdx,
+				Lane: uint16(w.id), Type: m.Type, Batch: uint8(batch),
+			})
 		}
 		for !e.compQ.TryEnqueue(m) {
 			runtime.Gosched()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/queue"
 )
 
@@ -20,7 +21,15 @@ func (e *Engine) runManager() {
 	frameTimeout := e.opts.FrameTimeout
 	lastTimeoutCheck := time.Now()
 	idle := 0
+	loops := 0
 	for {
+		// Queue-depth gauges: sampling every 256 manager iterations keeps
+		// the gauges fresh at microsecond-scale loop rates while costing a
+		// handful of atomic loads per sample.
+		loops++
+		if loops&0xff == 0 {
+			e.sampleQueues()
+		}
 		progress := false
 		for {
 			m, ok := e.compQ.TryDequeue()
@@ -58,6 +67,16 @@ func (e *Engine) runManager() {
 			idle = 0
 		}
 	}
+}
+
+// sampleQueues records every queue's instantaneous depth into the live
+// metric gauges (depth now + high-water mark).
+func (e *Engine) sampleQueues() {
+	for t := queue.TaskType(0); t < queue.NumTaskTypes; t++ {
+		e.met.SampleQueue(int(t), e.taskQ[t].Len())
+	}
+	e.met.SampleQueue(obs.GaugeRX, e.rxQ.Len())
+	e.met.SampleQueue(obs.GaugeComp, e.compQ.Len())
 }
 
 // newFrameState sizes the counters for one frame.
@@ -468,6 +487,11 @@ func (e *Engine) finishFrame(f *frameState, dropped bool) {
 	if !end.IsZero() {
 		res.Latency = end.Sub(f.firstPkt)
 	}
+	if dropped {
+		e.met.FramesDropped.Add(1)
+	} else if res.Latency > 0 {
+		e.met.ObserveFrame(res.Latency.Nanoseconds())
+	}
 	if !dropped {
 		for s := 0; s < cfg.NumSymbols(); s++ {
 			if cfg.SymbolAt(s) != frame.Uplink {
@@ -531,6 +555,7 @@ func (e *Engine) reapStale(now time.Time) {
 	for id, t0 := range e.ghosts {
 		if now.Sub(t0) > frameTimeout {
 			delete(e.ghosts, id)
+			e.met.FramesDropped.Add(1)
 			select {
 			case e.results <- FrameResult{Frame: id, Dropped: true, FirstPkt: t0}:
 			default: // consumer too slow; drop the report, not the pipeline

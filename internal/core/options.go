@@ -118,6 +118,24 @@ type Options struct {
 	// also disabled so the path matches the historical per-antenna loop.
 	DisableSplitRadixFFT bool
 
+	// DisableTracing turns off the per-worker event tracer feeding the
+	// Chrome-trace capture and frame-timeline reconstruction (Engine
+	// TraceEvents/Timeline/WriteChromeTrace). It follows the package's
+	// zero-value-on convention: the enabled tracer appends fixed-size
+	// events to preallocated single-writer rings (<2% end-to-end, see
+	// BenchmarkTracerOverhead) and neither setting allocates on the hot
+	// path. The live Metrics counters stay on either way.
+	DisableTracing bool
+
+	// TraceCapacity sets each trace ring's capacity in events (rounded up
+	// to a power of two); the ring retains the most recent window. Zero
+	// means 1024 events (32 KiB) per lane, which at paper scale (64×16,
+	// ~700 task messages per frame spread across 26 workers) retains tens
+	// of frames — the rings are allocated and zeroed up front so the emit
+	// path never allocates. Raise it to capture longer windows for
+	// chrome://tracing.
+	TraceCapacity int
+
 	// RealTime pins workers to OS threads and disables GC assists during
 	// the run, the analogue of running Agora as a real-time process with
 	// isolated cores (§4.3). Unlike the other knobs this one defaults to
@@ -175,6 +193,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FrameTimeout <= 0 {
 		o.FrameTimeout = 2 * time.Second
+	}
+	if o.TraceCapacity <= 0 {
+		o.TraceCapacity = 1 << 10
 	}
 	return o
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frame"
 	"repro/internal/fronthaul"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -28,6 +29,13 @@ type RunSummary struct {
 	Bits        int
 	Drops       int64
 	TaskStats   map[queue.TaskType]core.TaskStat
+	// DeadlineMisses counts frames that finished past the on-air frame
+	// budget (the engine's live deadline counter).
+	DeadlineMisses int64
+	// Timeline is the reconstructed multi-frame schedule from the event
+	// tracer: per-frame stage spans, worker utilization, idle gaps. Nil
+	// when Options.DisableTracing is set.
+	Timeline *obs.Timeline
 }
 
 // BLER returns the run's block error rate.
@@ -154,7 +162,11 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 		}
 	}
 	sum.Drops = eng.Drops()
-	eng.Stop() // quiesce workers before reading their accumulators
+	eng.Stop() // quiesce workers so the trace rings are readable
 	sum.TaskStats = eng.TaskStats()
+	sum.DeadlineMisses = eng.Metrics().DeadlineMiss.Load()
+	if eng.TracingEnabled() {
+		sum.Timeline = eng.Timeline()
+	}
 	return sum, nil
 }

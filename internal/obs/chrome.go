@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: the captured window rendered in the JSON
+// array format chrome://tracing and Perfetto load directly. Each worker
+// lane becomes a thread track of complete ("ph":"X") task slices, and a
+// synthetic "frames" track overlays one slice per frame so intra- and
+// inter-frame pipelining (paper Fig. 7) is visible at a glance.
+
+// traceEvent is one trace_event JSON record (timestamps in microseconds).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const tracePID = 1
+
+// WriteChromeTrace renders events (a Tracer.Snapshot) as a Chrome
+// trace_event JSON array.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	first := true
+	emit := func(ev traceEvent) error {
+		if first {
+			if _, err := bw.WriteString("[\n"); err != nil {
+				return err
+			}
+			first = false
+		} else {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	lanes := 0
+	for i := range events {
+		if int(events[i].Lane) >= lanes {
+			lanes = int(events[i].Lane) + 1
+		}
+	}
+	meta := func(tid int, name string) error {
+		return emit(traceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	if err := emit(traceEvent{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]any{"name": "agora"},
+	}); err != nil {
+		return err
+	}
+	for l := 0; l < lanes; l++ {
+		if err := meta(l, fmt.Sprintf("worker %d", l)); err != nil {
+			return err
+		}
+	}
+	frameTID := lanes + 1
+	if err := meta(frameTID, "frames"); err != nil {
+		return err
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for i := range events {
+		ev := &events[i]
+		if err := emit(traceEvent{
+			Name: ev.Type.String(),
+			Cat:  "task",
+			Ph:   "X",
+			TS:   us(ev.Start),
+			Dur:  us(ev.End - ev.Start),
+			PID:  tracePID,
+			TID:  int(ev.Lane),
+			Args: map[string]any{
+				"frame":  ev.Frame,
+				"symbol": ev.Symbol,
+				"task":   ev.TaskIdx,
+				"batch":  ev.Batch,
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, ft := range Reconstruct(events).Frames {
+		if err := emit(traceEvent{
+			Name: fmt.Sprintf("frame %d", ft.Frame),
+			Cat:  "frame",
+			Ph:   "X",
+			TS:   us(ft.Start),
+			Dur:  us(ft.End - ft.Start),
+			PID:  tracePID,
+			TID:  frameTID,
+			Args: map[string]any{"frame": ft.Frame},
+		}); err != nil {
+			return err
+		}
+	}
+	if first { // no events at all: still emit a valid (empty) array
+		if _, err := bw.WriteString("["); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/queue"
+	"repro/internal/stats"
+)
+
+// Gauge indices for the engine's non-task queues (appended after the
+// per-task-type queues in Metrics).
+const (
+	GaugeRX   = int(queue.NumTaskTypes)
+	GaugeComp = int(queue.NumTaskTypes) + 1
+	NumGauges = int(queue.NumTaskTypes) + 2
+)
+
+// Metrics is the always-on, race-safe counter set: everything a live
+// dashboard (expvar) reads mid-run. All fields are atomics; the tracer's
+// rings are deliberately NOT part of this because they are only readable
+// at quiescence.
+type Metrics struct {
+	FramesDone    atomic.Int64
+	FramesDropped atomic.Int64
+	// DeadlineMiss counts completed frames whose latency exceeded the
+	// frame budget (the on-air frame duration — Agora must on average
+	// finish a frame before the next one lands).
+	DeadlineMiss  atomic.Int64
+	FrameBudgetNS atomic.Int64
+
+	// Latency streams frame processing times (first packet to last
+	// uplink decode / downlink TX) for live percentiles.
+	Latency stats.Hist
+
+	// QueueDepth is the most recent sampled depth of each queue
+	// (per-task queues, then RX and completion); QueueMax is the
+	// high-water mark across the run.
+	QueueDepth [NumGauges]atomic.Int64
+	QueueMax   [NumGauges]atomic.Int64
+}
+
+// ObserveFrame records one completed frame against the budget.
+func (m *Metrics) ObserveFrame(latencyNS int64) {
+	m.FramesDone.Add(1)
+	m.Latency.AddNS(latencyNS)
+	if b := m.FrameBudgetNS.Load(); b > 0 && latencyNS > b {
+		m.DeadlineMiss.Add(1)
+	}
+}
+
+// SampleQueue records queue idx's instantaneous depth.
+func (m *Metrics) SampleQueue(idx, depth int) {
+	d := int64(depth)
+	m.QueueDepth[idx].Store(d)
+	for {
+		cur := m.QueueMax[idx].Load()
+		if d <= cur || m.QueueMax[idx].CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// QueueGauge is one queue's sampled state in a snapshot.
+type QueueGauge struct {
+	Depth int64 `json:"depth"`
+	Max   int64 `json:"max"`
+}
+
+// LatencySnap carries the live latency percentiles in milliseconds.
+type LatencySnap struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// TaskSnap is one task type's cost summary in a snapshot.
+type TaskSnap struct {
+	Count   int64   `json:"count"`
+	MeanUS  float64 `json:"mean_us"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Snapshot is the JSON-friendly view of Metrics that expvar publishes.
+type Snapshot struct {
+	Frames        int64                 `json:"frames"`
+	Dropped       int64                 `json:"dropped"`
+	DeadlineMiss  int64                 `json:"deadline_miss"`
+	FrameBudgetMS float64               `json:"frame_budget_ms"`
+	Latency       LatencySnap           `json:"latency"`
+	Queues        map[string]QueueGauge `json:"queues"`
+	Tasks         map[string]TaskSnap   `json:"tasks"`
+}
+
+// gaugeName labels a gauge index for snapshots.
+func gaugeName(i int) string {
+	switch i {
+	case GaugeRX:
+		return "RX"
+	case GaugeComp:
+		return "Completion"
+	default:
+		return queue.TaskType(i).String()
+	}
+}
+
+// Snap builds a point-in-time snapshot. Safe to call at any moment.
+func (m *Metrics) Snap() Snapshot {
+	ms := func(d int64) float64 { return float64(d) / 1e6 }
+	s := Snapshot{
+		Frames:        m.FramesDone.Load(),
+		Dropped:       m.FramesDropped.Load(),
+		DeadlineMiss:  m.DeadlineMiss.Load(),
+		FrameBudgetMS: ms(m.FrameBudgetNS.Load()),
+		Latency: LatencySnap{
+			Count:  m.Latency.Count(),
+			MeanMS: ms(int64(m.Latency.Mean())),
+			P50MS:  ms(int64(m.Latency.Quantile(50))),
+			P99MS:  ms(int64(m.Latency.Quantile(99))),
+			P999MS: ms(int64(m.Latency.Quantile(99.9))),
+			MaxMS:  ms(int64(m.Latency.Max())),
+		},
+		Queues: make(map[string]QueueGauge, NumGauges),
+		Tasks:  make(map[string]TaskSnap),
+	}
+	for i := 0; i < NumGauges; i++ {
+		s.Queues[gaugeName(i)] = QueueGauge{
+			Depth: m.QueueDepth[i].Load(),
+			Max:   m.QueueMax[i].Load(),
+		}
+	}
+	return s
+}
+
+// TaskAcc is a single-writer mean/std accumulator whose state is
+// atomically readable: the owning worker is the only goroutine that
+// writes, so updates are plain load-modify-store on atomic cells (no CAS),
+// while a monitoring thread may snapshot mid-run without a data race. A
+// reader can observe a count that lags the sums by a few samples; for
+// microsecond-scale task costs that skew is far below reporting
+// resolution.
+type TaskAcc struct {
+	n    atomic.Int64
+	sum  atomic.Uint64 // Float64bits of Σx
+	sum2 atomic.Uint64 // Float64bits of Σx²
+}
+
+// AddN records n samples of value x each. Only the owning goroutine may
+// call it.
+func (a *TaskAcc) AddN(n int, x float64) {
+	fn := float64(n)
+	a.sum.Store(math.Float64bits(math.Float64frombits(a.sum.Load()) + fn*x))
+	a.sum2.Store(math.Float64bits(math.Float64frombits(a.sum2.Load()) + fn*x*x))
+	a.n.Add(int64(n))
+}
+
+// Add records one sample.
+func (a *TaskAcc) Add(x float64) { a.AddN(1, x) }
+
+// Snapshot returns (count, Σx, Σx²) as of now; safe from any goroutine.
+func (a *TaskAcc) Snapshot() (n int64, sum, sum2 float64) {
+	return a.n.Load(),
+		math.Float64frombits(a.sum.Load()),
+		math.Float64frombits(a.sum2.Load())
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/queue"
+)
+
+// StageAgg aggregates the events of one task type (within a frame or
+// across the whole capture): when the stage's first task started, when its
+// last task ended, and how much worker time it consumed.
+type StageAgg struct {
+	Type   queue.TaskType
+	Count  int   // messages executed (a batched message counts once)
+	Tasks  int   // individual tasks (batch expanded)
+	Start  int64 // ns since epoch, earliest task start
+	End    int64 // ns since epoch, latest task end
+	BusyNS int64 // Σ task durations (worker CPU time, overlaps allowed)
+}
+
+// SpanNS is the stage's wall-clock extent (Fig. 7's bar length).
+func (s *StageAgg) SpanNS() int64 { return s.End - s.Start }
+
+// FrameTimeline is one frame's reconstructed schedule: per-stage spans in
+// execution order, exactly the rows of the paper's Figure 7 timeline.
+type FrameTimeline struct {
+	Frame  uint32
+	Start  int64 // earliest task start
+	End    int64 // latest task end
+	Stages []StageAgg
+}
+
+// WorkerUtil summarizes one lane's activity over the capture window.
+type WorkerUtil struct {
+	Lane     int
+	Events   int
+	BusyNS   int64 // Σ event durations
+	SpanNS   int64 // last end − first start
+	MaxGapNS int64 // longest idle gap between consecutive events
+}
+
+// Utilization is BusyNS/SpanNS (0 with no span).
+func (w *WorkerUtil) Utilization() float64 {
+	if w.SpanNS <= 0 {
+		return 0
+	}
+	return float64(w.BusyNS) / float64(w.SpanNS)
+}
+
+// Timeline is the full reconstruction of a captured event window.
+type Timeline struct {
+	Frames  []FrameTimeline // ordered by frame start
+	Stages  []StageAgg      // capture-wide aggregate per task type
+	Workers []WorkerUtil    // per lane
+}
+
+// Reconstruct builds per-frame stage breakdowns and worker utilization
+// from a Snapshot. Events need not be sorted; incomplete frames at the
+// window edges simply show the stages that were captured.
+func Reconstruct(events []Event) *Timeline {
+	tl := &Timeline{}
+	if len(events) == 0 {
+		return tl
+	}
+	type key struct {
+		frame uint32
+	}
+	frames := make(map[key]*FrameTimeline)
+	global := make(map[queue.TaskType]*StageAgg)
+	workers := make(map[int]*WorkerUtil)
+	perLane := make(map[int][]Event)
+	addStage := func(m map[queue.TaskType]*StageAgg, ev *Event) *StageAgg {
+		s, ok := m[ev.Type]
+		if !ok {
+			s = &StageAgg{Type: ev.Type, Start: ev.Start, End: ev.End}
+			m[ev.Type] = s
+		}
+		if ev.Start < s.Start {
+			s.Start = ev.Start
+		}
+		if ev.End > s.End {
+			s.End = ev.End
+		}
+		s.Count++
+		b := int(ev.Batch)
+		if b < 1 {
+			b = 1
+		}
+		s.Tasks += b
+		s.BusyNS += ev.End - ev.Start
+		return s
+	}
+	frameStages := make(map[key]map[queue.TaskType]*StageAgg)
+	for i := range events {
+		ev := &events[i]
+		k := key{ev.Frame}
+		ft, ok := frames[k]
+		if !ok {
+			ft = &FrameTimeline{Frame: ev.Frame, Start: ev.Start, End: ev.End}
+			frames[k] = ft
+			frameStages[k] = make(map[queue.TaskType]*StageAgg)
+		}
+		if ev.Start < ft.Start {
+			ft.Start = ev.Start
+		}
+		if ev.End > ft.End {
+			ft.End = ev.End
+		}
+		addStage(frameStages[k], ev)
+		addStage(global, ev)
+		perLane[int(ev.Lane)] = append(perLane[int(ev.Lane)], *ev)
+	}
+	for k, ft := range frames {
+		for _, s := range frameStages[k] {
+			ft.Stages = append(ft.Stages, *s)
+		}
+		sort.Slice(ft.Stages, func(i, j int) bool { return ft.Stages[i].Start < ft.Stages[j].Start })
+		tl.Frames = append(tl.Frames, *ft)
+	}
+	sort.Slice(tl.Frames, func(i, j int) bool { return tl.Frames[i].Start < tl.Frames[j].Start })
+	for _, s := range global {
+		tl.Stages = append(tl.Stages, *s)
+	}
+	sort.Slice(tl.Stages, func(i, j int) bool { return tl.Stages[i].Type < tl.Stages[j].Type })
+	for laneID, evs := range perLane {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		w := &WorkerUtil{Lane: laneID, Events: len(evs)}
+		w.SpanNS = evs[len(evs)-1].End - evs[0].Start
+		prevEnd := evs[0].Start
+		for i := range evs {
+			w.BusyNS += evs[i].End - evs[i].Start
+			if gap := evs[i].Start - prevEnd; gap > w.MaxGapNS {
+				w.MaxGapNS = gap
+			}
+			if evs[i].End > prevEnd {
+				prevEnd = evs[i].End
+			}
+		}
+		workers[laneID] = w
+	}
+	for _, w := range workers {
+		tl.Workers = append(tl.Workers, *w)
+	}
+	sort.Slice(tl.Workers, func(i, j int) bool { return tl.Workers[i].Lane < tl.Workers[j].Lane })
+	return tl
+}
+
+// TotalBusyNS sums worker time across all stages.
+func (tl *Timeline) TotalBusyNS() int64 {
+	var total int64
+	for i := range tl.Stages {
+		total += tl.Stages[i].BusyNS
+	}
+	return total
+}

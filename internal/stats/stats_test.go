@@ -43,6 +43,40 @@ func TestEmptyReservoir(t *testing.T) {
 	}
 }
 
+func TestEmptyReservoirPercentiles(t *testing.T) {
+	r := NewReservoir(0)
+	for _, p := range []float64{0, 50, 99.9, 100} {
+		if got := r.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	if r.P999() != 0 {
+		t.Fatalf("empty P999 = %v", r.P999())
+	}
+	if s := r.Summary(); s == "" {
+		t.Fatal("empty Summary should still render")
+	}
+}
+
+func TestSingleSampleReservoir(t *testing.T) {
+	r := NewReservoir(1)
+	r.Add(7 * time.Microsecond)
+	// Every percentile of a one-sample reservoir is that sample — in
+	// particular p=0, whose nearest rank would be -1 without clamping.
+	for _, p := range []float64{0, 0.1, 50, 99.9, 100} {
+		if got := r.Percentile(p); got != 7*time.Microsecond {
+			t.Fatalf("Percentile(%v) = %v, want 7µs", p, got)
+		}
+	}
+	if r.Mean() != 7*time.Microsecond || r.Max() != 7*time.Microsecond {
+		t.Fatalf("mean=%v max=%v", r.Mean(), r.Max())
+	}
+	vals, prob := r.CCDF()
+	if len(vals) != 1 || prob[0] != 0 {
+		t.Fatalf("single-sample CCDF: %v %v", vals, prob)
+	}
+}
+
 func TestAddAfterQueryResorts(t *testing.T) {
 	r := NewReservoir(4)
 	r.Add(5)
