@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench baseline perf clean
+.PHONY: check vet build test race fuzz bench baseline perf clean
 
-check: vet build test race perf
+check: vet build test race fuzz perf
 
 vet:
 	$(GO) vet ./...
@@ -23,9 +23,17 @@ test:
 race:
 	$(GO) test -race -short ./internal/...
 
+# Short fuzz pass over the ldpc bit-packing and LLR-quantization targets
+# (Go runs one -fuzz target per invocation). A few seconds each is enough
+# to re-find the int8(NaN) class of bug; longer exploratory runs are
+# `go test -fuzz <Target> ./internal/ldpc` without -fuzztime.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzBitsBytesRoundTrip -fuzztime 5s ./internal/ldpc
+	$(GO) test -run '^$$' -fuzz FuzzQuantizeLLR -fuzztime 5s ./internal/ldpc
+
 # Key benchmarks (the ones BENCH_BASELINE.json regression checks target).
 bench:
-	$(GO) test -run '^$$' -bench 'Table1|Fig9|Table4' -benchmem -count 5 .
+	$(GO) test -run '^$$' -bench 'Table1|Fig9|Table4|Decode_' -benchmem -count 5 .
 
 # Re-snapshot the benchmark suite into BENCH_BASELINE.json. Only commit
 # the result when intentionally moving the baseline (e.g. after a perf PR).
@@ -35,9 +43,10 @@ baseline:
 # Perf guardrail: re-run the end-to-end medians recorded in the committed
 # baseline and fail on >10% regression, so tier-1 catches performance
 # regressions alongside correctness. Table4_AllOptimizationsOn pins the
-# default engine path (fused SoA demod included) explicitly.
+# default engine path (fused SoA demod included) explicitly; the Decode_
+# pairs pin the lane-major LDPC kernel and its legacy ablation partner.
 perf:
-	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json -compare-bench 'Table1|Fig9|Table4_AllOptimizationsOn'
+	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json -compare-bench 'Table1|Fig9|Table4_AllOptimizationsOn|Decode_'
 
 clean:
 	$(GO) clean

@@ -8,6 +8,7 @@ package agora
 // machinery over time.
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/channel"
@@ -154,6 +155,69 @@ func BenchmarkFig12_LDPCDecode(b *testing.B) {
 	}
 }
 
+// benchDecodePath measures the float decoder at the 64×16 default code
+// (rate 1/3, Z=104) on a perturbed-but-decodable codeword — noisy enough
+// that several real BP iterations run — with the kernel path selectable.
+// The Lane/Legacy pair is the kernel-level ablation for the lane-major
+// decode layout (DESIGN §13); both paths are bit-identical, so the gap is
+// pure traversal and memory-layout cost.
+func benchDecodePath(b *testing.B, legacy bool) {
+	rng := rand.New(rand.NewSource(1))
+	code := ldpc.MustNew(ldpc.Rate13, 104)
+	dec := ldpc.NewDecoder(code)
+	dec.Legacy = legacy
+	llr := noisyBenchLLR(rng, code)
+	out := make([]byte, code.K())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(out, llr, 5)
+	}
+}
+
+// noisyBenchLLR encodes a random block and perturbs its ±4 LLRs with unit
+// Gaussian noise, the workload the Decode_ benchmark pairs share.
+func noisyBenchLLR(rng *rand.Rand, code *ldpc.Code) []float32 {
+	info := make([]byte, code.K())
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	cw := make([]byte, code.N())
+	code.Encode(cw, info)
+	llr := make([]float32, code.N())
+	for i, bit := range cw {
+		if bit == 0 {
+			llr[i] = 4
+		} else {
+			llr[i] = -4
+		}
+		llr[i] += float32(rng.NormFloat64())
+	}
+	return llr
+}
+
+func BenchmarkDecode_LaneMajor(b *testing.B) { benchDecodePath(b, false) }
+func BenchmarkDecode_Legacy(b *testing.B)    { benchDecodePath(b, true) }
+
+// benchDecode8Path is the int8 counterpart of benchDecodePath.
+func benchDecode8Path(b *testing.B, legacy bool) {
+	rng := rand.New(rand.NewSource(1))
+	code := ldpc.MustNew(ldpc.Rate13, 104)
+	dec := ldpc.NewDecoder8(code)
+	dec.Legacy = legacy
+	q := make([]int8, code.N())
+	dec.QuantizeLLR(q, noisyBenchLLR(rng, code))
+	out := make([]byte, code.K())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(out, q, 5)
+	}
+}
+
+func BenchmarkDecode_LaneMajorInt8(b *testing.B) { benchDecode8Path(b, false) }
+func BenchmarkDecode_LegacyInt8(b *testing.B)    { benchDecode8Path(b, true) }
+
 // BenchmarkFig12_LDPCEncode is the encoding counterpart.
 func BenchmarkFig12_LDPCEncode(b *testing.B) {
 	code := ldpc.MustNew(ldpc.Rate13, 104)
@@ -190,7 +254,7 @@ func BenchmarkTable4_AllOptimizationsOff(b *testing.B) {
 		DisableBatching: true, DisableMemOpt: true, DisableDirectStore: true,
 		DisableInverseOpt: true, DisableJITGemm: true, DisableBlockGemm: true,
 		DisableSIMDConvert: true, DisableSplitRadixFFT: true,
-		DisableSoALLR: true})
+		DisableSoALLR: true, DisableLaneDecode: true})
 }
 
 // BenchmarkTable4_AoSLLR isolates the LLR-layout ablation: only the
@@ -198,6 +262,13 @@ func BenchmarkTable4_AllOptimizationsOff(b *testing.B) {
 // to the AoS per-user layout, everything else stays optimized.
 func BenchmarkTable4_AoSLLR(b *testing.B) {
 	benchFrame(b, laptopCfg(), Options{Workers: 2, DisableSoALLR: true})
+}
+
+// BenchmarkTable4_LaneDecodeOff isolates the lane-major decode kernel's
+// ablation: only LDPC decoding reverts to the legacy check-major loop,
+// everything else stays optimized.
+func BenchmarkTable4_LaneDecodeOff(b *testing.B) {
+	benchFrame(b, laptopCfg(), Options{Workers: 2, DisableLaneDecode: true})
 }
 
 // BenchmarkTable4_Radix2FFT isolates the split-radix engine's ablation:

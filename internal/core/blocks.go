@@ -96,6 +96,7 @@ func newWorker(id int, e *Engine) *worker {
 	w.xtBlk = make([]complex64, maxB*cfg.Users)
 	w.dec = ldpc.NewDecoder(e.code)
 	w.dec.Alg = ldpc.NormalizedMinSum
+	w.dec.Legacy = e.opts.DisableLaneDecode
 	batchLanes := cfg.FFTBatch
 	if batchLanes < 1 {
 		batchLanes = 1

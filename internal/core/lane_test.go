@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/modulation"
+)
+
+// TestDisableLaneDecodeEquivalence is the engine-level contract for the
+// lane-major decode kernel: with identical input frames, the default
+// lane-major path and the DisableLaneDecode legacy check-major path must
+// produce identical decoded bits and decode outcomes for every user and
+// uplink symbol. (The kernel-level equivalence sweep over all Z and rates
+// lives in ldpc.TestLaneDecodeEquivalence; this test pins the Options
+// wiring through worker construction.)
+func TestDisableLaneDecodeEquivalence(t *testing.T) {
+	cfg := soaCfg(modulation.QAM16)
+	laneEng, laneRes := runOneFrame(t, cfg, Options{Workers: 2}, 79)
+	legEng, legRes := runOneFrame(t, cfg, Options{Workers: 2, DisableLaneDecode: true}, 79)
+	if laneRes.Dropped || legRes.Dropped {
+		t.Fatalf("dropped frame: lane=%v legacy=%v", laneRes.Dropped, legRes.Dropped)
+	}
+	if !legEng.workers[0].dec.Legacy || laneEng.workers[0].dec.Legacy {
+		t.Fatal("DisableLaneDecode not wired to decoder Legacy flag")
+	}
+	for sym := 0; sym < cfg.NumSymbols(); sym++ {
+		if cfg.SymbolAt(sym) != frame.Uplink {
+			continue
+		}
+		for u := 0; u < cfg.Users; u++ {
+			for i, v := range legEng.buf.decoded[0][sym][u] {
+				if laneEng.buf.decoded[0][sym][u][i] != v {
+					t.Fatalf("sym %d user %d: decoded bit %d differs", sym, u, i)
+				}
+			}
+			if laneEng.buf.decodeOK[0][sym][u] != legEng.buf.decodeOK[0][sym][u] {
+				t.Fatalf("sym %d user %d: decodeOK differs", sym, u)
+			}
+		}
+	}
+}

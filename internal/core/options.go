@@ -106,6 +106,13 @@ type Options struct {
 	// layouts; only the traversal and memory traffic differ.
 	DisableSoALLR bool
 
+	// DisableLaneDecode routes LDPC decoding through the legacy
+	// check-major min-sum loop instead of the lane-major Z-lane kernel
+	// (ldpc/lanes.go, DESIGN §13). Decoded bits and iteration counts are
+	// bit-identical between the two paths; only the traversal order and
+	// the message memory layout differ.
+	DisableLaneDecode bool
+
 	// DisableSIMDConvert replaces the word-packed IQ conversion with the
 	// byte-at-a-time version (§4, data type conversions). It also precludes
 	// the fused unpack/permute FFT front end, which builds on the packed

@@ -202,6 +202,7 @@ func Table4(w io.Writer, o Opt) error {
 		{"SIMD convert off", with(base, func(op *core.Options) { op.DisableSIMDConvert = true })},
 		{"split-radix FFT off", with(base, func(op *core.Options) { op.DisableSplitRadixFFT = true })},
 		{"SoA LLR off", with(base, func(op *core.Options) { op.DisableSoALLR = true })},
+		{"lane decode off", with(base, func(op *core.Options) { op.DisableLaneDecode = true })},
 		{"real-time mode on", with(base, func(op *core.Options) { op.RealTime = true })},
 	}
 	fmt.Fprintf(w, "%-20s %-10s %-8s %-10s %-8s\n", "configuration", "median", "ratio", "p99.9", "ratio")

@@ -25,12 +25,18 @@ type Decoder struct {
 	Offset float32
 	// Scale is the α of normalized min-sum (conventional 0.75).
 	Scale float32
-	l     []float32 // posterior LLR per variable
-	r     []float32 // check-to-variable message per edge instance
-	hard  []byte    // hard decisions
-	// edge layout: for block-row i, edges are stored check by check:
-	// rowOff[i] + r*deg + e for check row r and edge index e, so one
-	// check's messages are contiguous in both update passes.
+	// Legacy routes Decode through the check-major path instead of the
+	// lane-major kernel (lanes.go) — the Table-4-style ablation behind
+	// core's Options.DisableLaneDecode. Outputs are identical either way.
+	Legacy bool
+	l      []float32 // posterior LLR per variable
+	r      []float32 // check-to-variable message per edge instance
+	hard   []byte    // hard decisions
+	// Legacy edge layout: for block-row i, edges are stored check by
+	// check: rowOff[i] + r*deg + e for check row r and edge index e. The
+	// lane kernel stores the same buffer lane-major, r[edge*Z+lane]
+	// (== rowOff[i] + e*Z + lane, since rowOff[i] = eOff[i]*Z); messages
+	// are zeroed per Decode, so the layouts never need to coexist.
 	rowOff []int
 	// Flat per-edge tables (indexed by eOff[i]+e): the variable-block base
 	// column*Z and the cyclic shift, precomputed so the hot loop does one
@@ -39,8 +45,15 @@ type Decoder struct {
 	eOff     []int
 	edgeBase []int
 	edgeShf  []int
-	vIdx     []int32   // per-check scratch: variable index of each edge
-	q        []float32 // per-check scratch: variable-to-check messages
+	vIdx     []int32   // legacy per-check scratch: variable index of each edge
+	q        []float32 // legacy per-check scratch: variable-to-check messages
+	// Lane-major scratch (lanes.go): the layer's Q slab (deg×Z, reused as
+	// the posterior slab in pass 2) and the per-lane reduction state.
+	laneQ    []float32
+	laneMin1 []float32
+	laneMin2 []float32
+	laneIdx  []int32
+	laneSgn  []uint32
 }
 
 // NewDecoder allocates scratch for code c.
@@ -74,6 +87,11 @@ func NewDecoder(c *Code) *Decoder {
 	}
 	d.vIdx = make([]int32, maxDeg)
 	d.q = make([]float32, maxDeg)
+	d.laneQ = make([]float32, maxDeg*c.Z)
+	d.laneMin1 = make([]float32, c.Z)
+	d.laneMin2 = make([]float32, c.Z)
+	d.laneIdx = make([]int32, c.Z)
+	d.laneSgn = make([]uint32, c.Z)
 	return d
 }
 
@@ -91,7 +109,6 @@ type Result struct {
 // on failure info holds the best-effort hard decisions.
 func (d *Decoder) Decode(info []byte, llr []float32, maxIter int) Result {
 	c := d.code
-	z := c.Z
 	if len(llr) != c.N() {
 		panic(fmt.Sprintf("ldpc: Decode llr length %d != N %d", len(llr), c.N()))
 	}
@@ -99,80 +116,22 @@ func (d *Decoder) Decode(info []byte, llr []float32, maxIter int) Result {
 		panic(fmt.Sprintf("ldpc: Decode info length %d != K %d", len(info), c.K()))
 	}
 	copy(d.l, llr)
-	for i := range d.r {
-		d.r[i] = 0
+	clear(d.r)
+	// Fold the variant into one magnitude rule, m = max(min*scl − off, 0),
+	// hoisting the Alg branch out of the per-check/per-lane hot path:
+	// offset min-sum is scl=1, off=β; normalized min-sum is scl=α, off=0
+	// (min is non-negative, so its clamp never fires).
+	scl, off := float32(1), d.Offset
+	if d.Alg == NormalizedMinSum {
+		scl, off = d.Scale, 0
 	}
 	res := Result{}
 	for it := 1; it <= maxIter; it++ {
 		res.Iterations = it
-		for i, row := range c.rows {
-			deg := len(row)
-			eo := d.eOff[i]
-			cols := d.edgeBase[eo : eo+deg]
-			shifts := d.edgeShf[eo : eo+deg]
-			vs := d.vIdx[:deg]
-			qs := d.q[:deg]
-			for r := 0; r < z; r++ {
-				rbase := d.rowOff[i] + r*deg
-				rr := d.r[rbase : rbase+deg : rbase+deg]
-				// Pass 1: subtract old messages, find min1/min2/sign. Each
-				// check touches distinct variables, so Q lives in scratch
-				// instead of being round-tripped through the posterior.
-				var min1, min2 float32 = 3.4e38, 3.4e38
-				minIdx := -1
-				signProd := float32(1)
-				for e := 0; e < deg; e++ {
-					rs := r + shifts[e]
-					if rs >= z {
-						rs -= z
-					}
-					v := cols[e] + rs
-					q := d.l[v] - rr[e]
-					vs[e] = int32(v)
-					qs[e] = q
-					aq := q
-					if aq < 0 {
-						aq = -aq
-						signProd = -signProd
-					}
-					if aq < min1 {
-						min2 = min1
-						min1 = aq
-						minIdx = e
-					} else if aq < min2 {
-						min2 = aq
-					}
-				}
-				var m1, m2 float32
-				if d.Alg == OffsetMinSum {
-					m1 = min1 - d.Offset
-					if m1 < 0 {
-						m1 = 0
-					}
-					m2 = min2 - d.Offset
-					if m2 < 0 {
-						m2 = 0
-					}
-				} else {
-					m1 = min1 * d.Scale
-					m2 = min2 * d.Scale
-				}
-				// Pass 2: write new messages and posteriors.
-				for e := 0; e < deg; e++ {
-					q := qs[e]
-					mag := m1
-					if e == minIdx {
-						mag = m2
-					}
-					s := signProd
-					if q < 0 {
-						s = -s
-					}
-					nr := s * mag
-					rr[e] = nr
-					d.l[vs[e]] = q + nr
-				}
-			}
+		if d.Legacy {
+			d.iterateLegacy(scl, off)
+		} else {
+			d.iterateLanes(scl, off)
 		}
 		// Hard decisions + syndrome check for early termination.
 		for v, lv := range d.l {
@@ -191,12 +150,74 @@ func (d *Decoder) Decode(info []byte, llr []float32, maxIter int) Result {
 	return res
 }
 
-func modAdd(a, b, z int) int {
-	s := a + b
-	if s >= z {
-		s -= z
+// iterateLegacy runs one layered BP iteration check by check — the
+// historical path kept as the lane kernel's ablation partner.
+func (d *Decoder) iterateLegacy(scl, off float32) {
+	c := d.code
+	z := c.Z
+	for i, row := range c.rows {
+		deg := len(row)
+		eo := d.eOff[i]
+		cols := d.edgeBase[eo : eo+deg]
+		shifts := d.edgeShf[eo : eo+deg]
+		vs := d.vIdx[:deg]
+		qs := d.q[:deg]
+		for r := 0; r < z; r++ {
+			rbase := d.rowOff[i] + r*deg
+			rr := d.r[rbase : rbase+deg : rbase+deg]
+			// Pass 1: subtract old messages, find min1/min2/sign. Each
+			// check touches distinct variables, so Q lives in scratch
+			// instead of being round-tripped through the posterior.
+			var min1, min2 float32 = laneInitLLR, laneInitLLR
+			minIdx := -1
+			signProd := float32(1)
+			for e := 0; e < deg; e++ {
+				rs := r + shifts[e]
+				if rs >= z {
+					rs -= z
+				}
+				v := cols[e] + rs
+				q := d.l[v] - rr[e]
+				vs[e] = int32(v)
+				qs[e] = q
+				aq := q
+				if aq < 0 {
+					aq = -aq
+					signProd = -signProd
+				}
+				if aq < min1 {
+					min2 = min1
+					min1 = aq
+					minIdx = e
+				} else if aq < min2 {
+					min2 = aq
+				}
+			}
+			m1 := min1*scl - off
+			if m1 < 0 {
+				m1 = 0
+			}
+			m2 := min2*scl - off
+			if m2 < 0 {
+				m2 = 0
+			}
+			// Pass 2: write new messages and posteriors.
+			for e := 0; e < deg; e++ {
+				q := qs[e]
+				mag := m1
+				if e == minIdx {
+					mag = m2
+				}
+				s := signProd
+				if q < 0 {
+					s = -s
+				}
+				nr := s * mag
+				rr[e] = nr
+				d.l[vs[e]] = q + nr
+			}
+		}
 	}
-	return s
 }
 
 // BitsToBytes packs bits (one per byte, MSB first) into bytes; the final

@@ -15,10 +15,28 @@ type Decoder8 struct {
 	Offset int8
 	// InScale converts float LLRs to the int8 domain in QuantizeLLR.
 	InScale float32
-	l       []int16 // posterior (int16 headroom against overflow)
-	r       []int8  // check-to-variable messages
-	hard    []byte
-	rowOff  []int
+	// Legacy routes Decode through the check-major path instead of the
+	// lane-major kernel (lanes.go); bit-identical either way.
+	Legacy bool
+	l      []int16 // posterior (int16 headroom against overflow)
+	r      []int8  // check-to-variable messages
+	hard   []byte
+	// Flat layout tables, mirroring Decoder: rowOff locates a block-row's
+	// message slab (both paths store messages at rowOff[i] + e*Z + lane),
+	// edgeBase/edgeShf are the per-edge variable-block base and cyclic
+	// shift indexed by eOff[i]+e.
+	rowOff   []int
+	eOff     []int
+	edgeBase []int
+	edgeShf  []int
+	vIdx     []int32 // legacy per-check scratch: variable index of each edge
+	q        []int16 // legacy per-check scratch: variable-to-check messages
+	// Lane-major scratch (lanes.go).
+	laneQ    []int16
+	laneMin1 []int16
+	laneMin2 []int16
+	laneIdx  []int16
+	laneSgn  []uint16
 }
 
 // NewDecoder8 allocates scratch for code c.
@@ -28,18 +46,42 @@ func NewDecoder8(c *Code) *Decoder8 {
 	d.l = make([]int16, nVar)
 	d.hard = make([]byte, nVar)
 	d.rowOff = make([]int, c.Mb+1)
-	total := 0
+	d.eOff = make([]int, c.Mb+1)
+	total, edges, maxDeg := 0, 0, 0
 	for i, row := range c.rows {
 		d.rowOff[i] = total
+		d.eOff[i] = edges
 		total += len(row) * c.Z
+		edges += len(row)
+		if len(row) > maxDeg {
+			maxDeg = len(row)
+		}
 	}
 	d.rowOff[c.Mb] = total
+	d.eOff[c.Mb] = edges
 	d.r = make([]int8, total)
+	d.edgeBase = make([]int, edges)
+	d.edgeShf = make([]int, edges)
+	for i, row := range c.rows {
+		for e, en := range row {
+			d.edgeBase[d.eOff[i]+e] = en.col * c.Z
+			d.edgeShf[d.eOff[i]+e] = en.shift
+		}
+	}
+	d.vIdx = make([]int32, maxDeg)
+	d.q = make([]int16, maxDeg)
+	d.laneQ = make([]int16, maxDeg*c.Z)
+	d.laneMin1 = make([]int16, c.Z)
+	d.laneMin2 = make([]int16, c.Z)
+	d.laneIdx = make([]int16, c.Z)
+	d.laneSgn = make([]uint16, c.Z)
 	return d
 }
 
 // QuantizeLLR converts float LLRs to saturating int8 with the decoder's
-// input scale. len(dst) must equal len(llr).
+// input scale. len(dst) must equal len(llr). NaN maps to 0 (erasure):
+// letting it fall through to a float→int8 conversion would produce an
+// implementation-defined value (FuzzQuantizeLLR pins the bounds).
 func (d *Decoder8) QuantizeLLR(dst []int8, llr []float32) {
 	for i, v := range llr {
 		q := v * d.InScale
@@ -48,6 +90,8 @@ func (d *Decoder8) QuantizeLLR(dst []int8, llr []float32) {
 			dst[i] = 127
 		case q < -127:
 			dst[i] = -127
+		case q != q: // NaN
+			dst[i] = 0
 		default:
 			dst[i] = int8(q)
 		}
@@ -70,7 +114,6 @@ func sat16(v int32) int16 {
 // transmitted bit, length N()). Semantics match Decoder.Decode.
 func (d *Decoder8) Decode(info []byte, llr []int8, maxIter int) Result {
 	c := d.code
-	z := c.Z
 	if len(llr) != c.N() {
 		panic(fmt.Sprintf("ldpc: Decode8 llr length %d != N %d", len(llr), c.N()))
 	}
@@ -80,69 +123,14 @@ func (d *Decoder8) Decode(info []byte, llr []int8, maxIter int) Result {
 	for i, v := range llr {
 		d.l[i] = int16(v)
 	}
-	for i := range d.r {
-		d.r[i] = 0
-	}
+	clear(d.r)
 	res := Result{}
 	for it := 1; it <= maxIter; it++ {
 		res.Iterations = it
-		for i, row := range c.rows {
-			base := d.rowOff[i]
-			deg := len(row)
-			for r := 0; r < z; r++ {
-				var min1, min2 int16 = 32767, 32767
-				minIdx := -1
-				neg := false
-				for e := 0; e < deg; e++ {
-					v := row[e].col*z + modAdd(r, row[e].shift, z)
-					q := sat16(int32(d.l[v]) - int32(d.r[base+e*z+r]))
-					d.l[v] = q
-					aq := q
-					if aq < 0 {
-						aq = -aq
-						neg = !neg
-					}
-					if aq < min1 {
-						min2 = min1
-						min1 = aq
-						minIdx = e
-					} else if aq < min2 {
-						min2 = aq
-					}
-				}
-				m1 := min1 - int16(d.Offset)
-				if m1 < 0 {
-					m1 = 0
-				}
-				if m1 > 127 {
-					m1 = 127
-				}
-				m2 := min2 - int16(d.Offset)
-				if m2 < 0 {
-					m2 = 0
-				}
-				if m2 > 127 {
-					m2 = 127
-				}
-				for e := 0; e < deg; e++ {
-					v := row[e].col*z + modAdd(r, row[e].shift, z)
-					q := d.l[v]
-					mag := m1
-					if e == minIdx {
-						mag = m2
-					}
-					s := neg
-					if q < 0 {
-						s = !s
-					}
-					nr := int8(mag)
-					if s {
-						nr = -nr
-					}
-					d.r[base+e*z+r] = nr
-					d.l[v] = sat16(int32(q) + int32(nr))
-				}
-			}
+		if d.Legacy {
+			d.iterateLegacy8()
+		} else {
+			d.iterateLanes8()
 		}
 		for v, lv := range d.l {
 			if lv < 0 {
@@ -158,4 +146,82 @@ func (d *Decoder8) Decode(info []byte, llr []int8, maxIter int) Result {
 	}
 	copy(info, d.hard[:c.K()])
 	return res
+}
+
+// iterateLegacy8 runs one layered iteration check by check on the flat
+// tables — the historical path kept as the lane kernel's ablation
+// partner. (Unlike the old version it resolves each edge's variable
+// index once into scratch instead of recomputing col*Z + modAdd twice
+// per edge; values are unchanged.)
+func (d *Decoder8) iterateLegacy8() {
+	c := d.code
+	z := c.Z
+	off := int16(d.Offset)
+	for i := range c.rows {
+		eo := d.eOff[i]
+		deg := d.eOff[i+1] - eo
+		base := d.rowOff[i]
+		cols := d.edgeBase[eo : eo+deg]
+		shifts := d.edgeShf[eo : eo+deg]
+		vs := d.vIdx[:deg]
+		qs := d.q[:deg]
+		for r := 0; r < z; r++ {
+			var min1, min2 int16 = 32767, 32767
+			minIdx := -1
+			neg := false
+			for e := 0; e < deg; e++ {
+				rs := r + shifts[e]
+				if rs >= z {
+					rs -= z
+				}
+				v := cols[e] + rs
+				q := sat16(int32(d.l[v]) - int32(d.r[base+e*z+r]))
+				vs[e] = int32(v)
+				qs[e] = q
+				aq := q
+				if aq < 0 {
+					aq = -aq
+					neg = !neg
+				}
+				if aq < min1 {
+					min2 = min1
+					min1 = aq
+					minIdx = e
+				} else if aq < min2 {
+					min2 = aq
+				}
+			}
+			m1 := min1 - off
+			if m1 < 0 {
+				m1 = 0
+			}
+			if m1 > 127 {
+				m1 = 127
+			}
+			m2 := min2 - off
+			if m2 < 0 {
+				m2 = 0
+			}
+			if m2 > 127 {
+				m2 = 127
+			}
+			for e := 0; e < deg; e++ {
+				q := qs[e]
+				mag := m1
+				if e == minIdx {
+					mag = m2
+				}
+				s := neg
+				if q < 0 {
+					s = !s
+				}
+				nr := int8(mag)
+				if s {
+					nr = -nr
+				}
+				d.r[base+e*z+r] = nr
+				d.l[vs[e]] = sat16(int32(q) + int32(nr))
+			}
+		}
+	}
 }

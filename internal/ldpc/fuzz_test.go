@@ -1,0 +1,77 @@
+package ldpc
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzBitsBytesRoundTrip checks BitsToBytes/BytesToBits are inverses on
+// arbitrary bit counts and that the final partial byte is zero-padded,
+// the contract the MAC boundary relies on when framing transport blocks.
+func FuzzBitsBytesRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 0, 0, 0, 1, 1}, uint16(9))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{1}, uint16(1))
+	f.Add([]byte{0xFF, 0x02, 0x80}, uint16(17))
+	f.Fuzz(func(t *testing.T, data []byte, nbits uint16) {
+		n := int(nbits) % (len(data) + 1)
+		bits := make([]byte, n)
+		for i := range bits {
+			bits[i] = data[i] & 1
+		}
+		packed := make([]byte, (n+7)/8)
+		BitsToBytes(packed, bits)
+		if rem := n % 8; rem != 0 {
+			if tail := packed[len(packed)-1] & (0xFF >> rem); tail != 0 {
+				t.Fatalf("n=%d: padding bits not zero: last byte %08b", n, packed[len(packed)-1])
+			}
+		}
+		back := make([]byte, n)
+		BytesToBits(back, packed)
+		for i := range bits {
+			if back[i] != bits[i] {
+				t.Fatalf("n=%d: bit %d: got %d want %d", n, i, back[i], bits[i])
+			}
+		}
+	})
+}
+
+// FuzzQuantizeLLR pins QuantizeLLR's output contract on arbitrary float
+// bit patterns (including NaN, ±Inf, subnormals) and scales: every output
+// is within [-127, 127], and finite in-range inputs quantize exactly as
+// the documented truncating conversion. This is the fuzz target that
+// caught the NaN case: int8(NaN) is implementation-defined in Go and can
+// produce -128, outside the decoder's symmetric LLR domain.
+func FuzzQuantizeLLR(f *testing.F) {
+	f.Add([]byte{0, 0, 0xC0, 0x7F}, float32(4))          // NaN
+	f.Add([]byte{0, 0, 0x80, 0x7F}, float32(4))          // +Inf
+	f.Add([]byte{0, 0, 0x80, 0xFF}, float32(4))          // -Inf
+	f.Add([]byte{0xFF, 0xFF, 0x7F, 0x7F}, float32(1))    // MaxFloat32
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0x80}, float32(4)) // subnormal, -0
+	f.Add([]byte{0, 0, 0xFE, 0x42}, float32(1))          // 127.0
+	f.Fuzz(func(t *testing.T, data []byte, scale float32) {
+		n := len(data) / 4
+		if n == 0 {
+			return
+		}
+		llr := make([]float32, n)
+		for i := range llr {
+			llr[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+		}
+		code := MustNew(Rate89, 2)
+		d := NewDecoder8(code)
+		d.InScale = scale
+		out := make([]int8, n)
+		d.QuantizeLLR(out, llr)
+		for i, v := range out {
+			if v < -127 || v > 127 {
+				t.Fatalf("in=%v scale=%v: out[%d]=%d outside [-127,127]", llr[i], scale, i, v)
+			}
+			q := llr[i] * scale
+			if q == q && q >= -127 && q <= 127 && int8(q) != v {
+				t.Fatalf("in=%v scale=%v: out[%d]=%d want %d", llr[i], scale, i, v, int8(q))
+			}
+		}
+	})
+}
