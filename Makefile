@@ -45,8 +45,11 @@ baseline:
 # regressions alongside correctness. Table4_AllOptimizationsOn pins the
 # default engine path (fused SoA demod included) explicitly; the Decode_
 # pairs pin the lane-major LDPC kernel and its legacy ablation partner.
+# Table1 also matches Table1_SteadyStateFrame, which the zero-alloc gate
+# additionally holds to exactly 0 allocs/op and 0 B/op (DESIGN §14): any
+# allocation creeping back into the recycled frame loop fails the build.
 perf:
-	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json -compare-bench 'Table1|Fig9|Table4_AllOptimizationsOn|Decode_'
+	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json -compare-bench 'Table1|Fig9|Table4_AllOptimizationsOn|Decode_' -compare-zero-alloc 'SteadyState'
 
 clean:
 	$(GO) clean

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,7 +31,20 @@ const (
 // checked: the baseline stays authoritative about what is guarded, while
 // the pattern keeps `make check` fast by re-running just the end-to-end
 // medians rather than the whole suite.
-func runCompare(path, pattern string, count int, tol float64) error {
+// Benchmarks whose name matches zeroAllocPat are additionally held to an
+// absolute standard: the fresh run must report exactly 0 allocs/op and
+// 0 B/op, no matter what the baseline says. This is the steady-state
+// arena guarantee (DESIGN §14) — a single allocation creeping into the
+// recycled frame loop fails `make perf` even if it is far below the
+// relative tolerance and the absolute floors above.
+func runCompare(path, pattern string, count int, tol float64, zeroAllocPat string) error {
+	var zeroRe *regexp.Regexp
+	if zeroAllocPat != "" {
+		var err error
+		if zeroRe, err = regexp.Compile(zeroAllocPat); err != nil {
+			return fmt.Errorf("-compare-zero-alloc: %w", err)
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -94,6 +108,29 @@ func runCompare(path, pattern string, count int, tol float64) error {
 		check("ns/op", was.NsPerOp, now.NsPerOp, compareNsFloor)
 		check("B/op", was.BytesPerOp, now.BytesPerOp, compareBytesFloor)
 		check("allocs/op", was.AllocsPerOp, now.AllocsPerOp, compareAllocsFloor)
+	}
+	// Absolute zero-allocation gate (independent of the baseline): every
+	// fresh benchmark matching the pattern, in the baseline or not.
+	if zeroRe != nil {
+		zeroNames := make([]string, 0, len(fresh.Benchmarks))
+		for name := range fresh.Benchmarks {
+			if zeroRe.MatchString(name) {
+				zeroNames = append(zeroNames, name)
+			}
+		}
+		sort.Strings(zeroNames)
+		for _, name := range zeroNames {
+			now := fresh.Benchmarks[name]
+			status := "ok (0 allocs/op)"
+			if now.AllocsPerOp != 0 || now.BytesPerOp != 0 {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf(
+					"%s steady state must not allocate: %.0f allocs/op, %.0f B/op (want 0/0)",
+					name, now.AllocsPerOp, now.BytesPerOp))
+			}
+			fmt.Fprintf(os.Stderr, "compare: %-40s %-10s %12.0f -> %12.0f  %s\n",
+				name, "zero-alloc", now.AllocsPerOp, now.BytesPerOp, status)
+		}
 	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "compare: %d median(s) regressed beyond %.0f%%:\n",

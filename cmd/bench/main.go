@@ -52,8 +52,9 @@ func main() {
 
 		compare  = flag.String("compare", "", "baseline JSON to check for regressions (exits non-zero on >tolerance median regression)")
 		cmpBench = flag.String("compare-bench", "Table1|Fig9", "benchmark regexp re-run for the comparison")
-		cmpCount = flag.Int("compare-count", 3, "samples per benchmark for the comparison")
+		cmpCount = flag.Int("compare-count", 5, "samples per benchmark for the comparison (matches -baseline-count so both medians have the same sturdiness)")
 		cmpTol   = flag.Float64("compare-tol", 0.10, "allowed fractional regression per median")
+		cmpZero  = flag.String("compare-zero-alloc", "SteadyState", "regexp of benchmarks that must report exactly 0 allocs/op and 0 B/op (empty disables)")
 	)
 	var blInputs multiFlag
 	flag.Var(&blInputs, "baseline-input", "parse saved `go test -bench -benchmem` output instead of running (repeatable)")
@@ -73,7 +74,7 @@ func main() {
 		return
 	}
 	if *compare != "" {
-		if err := runCompare(*compare, *cmpBench, *cmpCount, *cmpTol); err != nil {
+		if err := runCompare(*compare, *cmpBench, *cmpCount, *cmpTol, *cmpZero); err != nil {
 			fmt.Fprintf(os.Stderr, "compare failed: %v\n", err)
 			os.Exit(1)
 		}

@@ -43,6 +43,14 @@ type stagesReport struct {
 	DeadlineMisses int64       `json:"deadline_misses"`
 	MedianMS       float64     `json:"median_ms"`
 	P999MS         float64     `json:"p99_9_ms"`
+	// ZF coherence-cache effect (DESIGN §14): the main run keeps the
+	// cache on; a second identically-seeded run with DisableZFCache
+	// isolates what recomputing the inverse every frame would cost.
+	ZFCacheHitRate   float64 `json:"zf_cache_hit_rate"`
+	ZFShareCached    float64 `json:"zf_share_cached"`
+	ZFShareUncached  float64 `json:"zf_share_uncached"`
+	ZFBusyMSCached   float64 `json:"zf_busy_ms_cached"`
+	ZFBusyMSUncached float64 `json:"zf_busy_ms_uncached"`
 }
 
 // runStages captures a traced uplink run and writes the report to out
@@ -116,6 +124,32 @@ func runStages(out string, full bool, frames, workers int, seed int64) error {
 		}
 		rep.Stages = append(rep.Stages, row)
 	}
+	if hits, misses := sum.ZFCacheHits, sum.ZFCacheMisses; hits+misses > 0 {
+		rep.ZFCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	for _, r := range rep.Stages {
+		if r.Stage == "ZF" {
+			rep.ZFShareCached, rep.ZFBusyMSCached = r.BusyShare, r.BusyMS
+		}
+	}
+	// Second, identically-seeded run with the cache ablated: the ZF rows'
+	// delta is the per-frame inverse recompute the cache removes.
+	uncOpts := opts
+	uncOpts.DisableZFCache = true
+	unc, err := agora.RunUplink(cfg, uncOpts, agora.Rayleigh, 25, frames, false, seed)
+	if err != nil {
+		return err
+	}
+	if unc.Timeline != nil {
+		if tb := unc.Timeline.TotalBusyNS(); tb > 0 {
+			for _, s := range unc.Timeline.Stages {
+				if s.Type.String() == "ZF" {
+					rep.ZFShareUncached = float64(s.BusyNS) / float64(tb)
+					rep.ZFBusyMSUncached = float64(s.BusyNS) / 1e6
+				}
+			}
+		}
+	}
 	for _, w := range tl.Workers {
 		rep.WorkerUtil = append(rep.WorkerUtil, workerRow{
 			Lane:        w.Lane,
@@ -140,6 +174,11 @@ func runStages(out string, full bool, frames, workers int, seed int64) error {
 	}
 	fmt.Printf("deadline misses: %d (incl. warmup); latency median %.3f ms, p99.9 %.3f ms\n",
 		rep.DeadlineMisses, rep.MedianMS, rep.P999MS)
+	if rep.ZFBusyMSUncached > 0 {
+		cut := 100 * (1 - rep.ZFBusyMSCached/rep.ZFBusyMSUncached)
+		fmt.Printf("ZF busy share: %.1f%% cached (hit rate %.0f%%) vs %.1f%% uncached — %.0f%% less ZF busy time\n",
+			rep.ZFShareCached*100, rep.ZFCacheHitRate*100, rep.ZFShareUncached*100, cut)
+	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

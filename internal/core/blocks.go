@@ -252,20 +252,36 @@ func (w *worker) runZF(slot int, g int) {
 	}
 	switch {
 	case e.opts.UseMRC:
-		mat.ConjugateEqualizerInto(b.eq[slot][g], h)
+		mat.ConjugateEqualizerIntoWS(b.eq[slot][g], h, w.zfws)
 	case e.opts.DisableInverseOpt:
 		mat.PinvSVDInto(b.eq[slot][g], h, 1e-9)
 	default:
 		if err := mat.ZFEqualizerInto(b.eq[slot][g], h, w.zfws); err != nil {
 			// Singular channel estimate: fall back to conjugate
 			// beamforming (§4.2 suggests MRC when ill-conditioned).
-			mat.ConjugateEqualizerInto(b.eq[slot][g], h)
+			mat.ConjugateEqualizerIntoWS(b.eq[slot][g], h, w.zfws)
 		}
 	}
 	if e.hasDownlink {
 		if err := mat.ZFPrecoderInto(b.pre[slot][g], h, w.zfws); err != nil {
 			b.pre[slot][g].Zero()
 		}
+	}
+}
+
+// copyCachedZF installs the coherence-cached equalizer (and precoder)
+// for one subcarrier group into the frame's slot buffers (DESIGN §14): a
+// plain copy replaces the Gram/Cholesky recompute while the
+// pilot-estimated channel stays within the coherence window. The cache
+// matrices are stable for the duration of the task: the manager defers
+// refresh until no copy task is in flight.
+func (w *worker) copyCachedZF(slot, g int) {
+	e := w.eng
+	b := e.buf
+	c := &e.zfc
+	copy(b.eq[slot][g].Data, c.eq[g].Data)
+	if e.hasDownlink && c.pre != nil {
+		copy(b.pre[slot][g].Data, c.pre[g].Data)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/fronthaul"
 	"repro/internal/ldpc"
+	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/queue"
 )
@@ -97,23 +98,62 @@ type Engine struct {
 	started bool
 	prevGC  int
 
-	// manager-private
+	// manager-private. All per-frame book-keeping lives in preallocated
+	// slot-indexed rings so the steady-state loop touches no maps and
+	// allocates nothing (DESIGN §14): a frame's buffer slot (Msg.Slot)
+	// is its index everywhere.
 	lastZF struct {
 		frame uint32
 		slot  int
 		valid bool
 	}
-	frames      map[uint32]*frameState
-	pendingRx   map[uint32]pendingFrame
-	ghosts      map[uint32]time.Time // rejected-at-admission frames awaiting a Dropped result
-	outstanding int                  // tasks enqueued but not completed
+	zfc         zfCacheState
+	frameBySlot []*frameState  // live frames, indexed by buffer slot
+	pending     []pendingFrame // not-yet-admitted frames, indexed by slot
+	ghosts      []ghostEntry   // rejected-at-admission frames awaiting a Dropped result
+	freeStates  []*frameState  // frameState free-list (LIFO)
+	liveFrames  int
+	pendingCnt  int
+	outstanding int // tasks enqueued but not completed
 	txSeq       uint64
 }
 
-// pendingFrame buffers RX notifications for a not-yet-admitted frame.
+// pendingFrame buffers RX notifications for a not-yet-admitted frame. The
+// msgs backing array is allocated once per slot at engine construction
+// (capacity = the frame's maximum RX count, enforced by the rxSeen
+// dedupe) and reused across frames.
 type pendingFrame struct {
-	msgs  []queue.Msg
+	id    uint32
+	used  bool
 	first time.Time
+	msgs  []queue.Msg
+}
+
+// ghostEntry records a frame every packet of which bounced off an
+// occupied buffer slot; reapStale turns stale entries into Dropped
+// results. The ring is fixed-size: a full ring evicts its oldest entry by
+// emitting that entry's Dropped result early.
+type ghostEntry struct {
+	id   uint32
+	t    time.Time
+	used bool
+}
+
+// zfCacheState is the coherence-cached zero-forcing state (DESIGN §14):
+// a snapshot of one frame's CSI/equalizer/precoder per ZF group, served
+// to subsequent frames whose pilot estimate stays within the coherence
+// window. Owned by the manager; workers only read the matrices through
+// cache-copy tasks whose enqueue/dequeue pair orders the accesses, and
+// copies (in-flight cache-copy tasks) gates refresh so the manager never
+// rewrites matrices a worker may still be reading.
+type zfCacheState struct {
+	enabled bool
+	valid   bool
+	age     int // frames served since the last refresh
+	copies  int // in-flight cache-copy ZF tasks
+	csi     []*mat.M
+	eq      []*mat.M
+	pre     []*mat.M // nil without downlink symbols
 }
 
 // frameState is the manager's book-keeping for one in-flight frame.
@@ -149,6 +189,10 @@ type frameState struct {
 	staleValid bool
 	staleSlot  int
 
+	// zfCached marks a coherence-cache hit: this frame's ZF tasks copy
+	// the cached matrices instead of recomputing.
+	zfCached bool
+
 	remaining int
 }
 
@@ -179,9 +223,6 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 		results:     make(chan FrameResult, 1024),
 		stop:        make(chan struct{}),
 		mgrDone:     make(chan struct{}),
-		frames:      make(map[uint32]*frameState),
-		pendingRx:   make(map[uint32]pendingFrame),
-		ghosts:      make(map[uint32]time.Time),
 	}
 	kern := fft.SplitRadix
 	if opts.DisableSplitRadixFFT {
@@ -216,6 +257,41 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 		}
 		e.compQ = queue.New(comp)
 		e.rxQ = queue.New(rx)
+	}
+	// Slot-indexed frame rings and the frameState free-list: everything
+	// the manager touches per frame is provisioned here, so the
+	// steady-state loop allocates nothing.
+	e.frameBySlot = make([]*frameState, opts.Slots)
+	e.pending = make([]pendingFrame, opts.Slots)
+	maxRx := (cfg.NumPilots() + cfg.NumUplink()) * cfg.Antennas
+	for s := range e.pending {
+		e.pending[s].msgs = make([]queue.Msg, 0, maxRx)
+	}
+	nGhosts := 4 * opts.Slots
+	if nGhosts < 32 {
+		nGhosts = 32
+	}
+	e.ghosts = make([]ghostEntry, nGhosts)
+	e.freeStates = make([]*frameState, 0, opts.Slots)
+	for i := 0; i < opts.Slots; i++ {
+		e.freeStates = append(e.freeStates, e.allocFrameState())
+	}
+	e.met.FreeStates.Store(int64(len(e.freeStates)))
+	e.zfc.enabled = !opts.DisableZFCache
+	if e.zfc.enabled {
+		g := cfg.ZFGroups()
+		e.zfc.csi = make([]*mat.M, g)
+		e.zfc.eq = make([]*mat.M, g)
+		for i := 0; i < g; i++ {
+			e.zfc.csi[i] = mat.New(cfg.Antennas, cfg.Users)
+			e.zfc.eq[i] = mat.New(cfg.Users, cfg.Antennas)
+		}
+		if e.hasDownlink {
+			e.zfc.pre = make([]*mat.M, g)
+			for i := 0; i < g; i++ {
+				e.zfc.pre[i] = mat.New(cfg.Antennas, cfg.Users)
+			}
+		}
 	}
 	e.initMACPattern()
 	e.buildPollOrders()
@@ -751,7 +827,13 @@ func (e *Engine) execute(w *worker, m queue.Msg) {
 		idx := int(m.TaskIdx) + i
 		switch m.Type {
 		case queue.TaskZF:
-			w.runZF(slot, idx)
+			// Aux==1 marks a coherence-cache hit: install the cached
+			// matrices instead of recomputing (DESIGN §14).
+			if m.Aux == 1 {
+				w.copyCachedZF(slot, idx)
+			} else {
+				w.runZF(slot, idx)
+			}
 		case queue.TaskFFT:
 			w.runFFT(slot, m.Symbol, uint16(idx))
 		case queue.TaskDemod:

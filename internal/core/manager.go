@@ -79,14 +79,15 @@ func (e *Engine) sampleQueues() {
 	e.met.SampleQueue(obs.GaugeComp, e.compQ.Len())
 }
 
-// newFrameState sizes the counters for one frame.
-func (e *Engine) newFrameState(id uint32, slot int, t time.Time) *frameState {
+// allocFrameState allocates one frameState with every slice sized for the
+// frame geometry (fftPend at full antenna capacity so per-frame appends
+// never grow it). Called only at engine construction to stock the
+// free-list, and as overflow when more frames are concurrently tracked
+// than Slots ever provisioned.
+func (e *Engine) allocFrameState() *frameState {
 	cfg := &e.cfg
 	nSym := cfg.NumSymbols()
 	f := &frameState{
-		id:          id,
-		slot:        slot,
-		firstPkt:    t,
 		fftDone:     make([]int, nSym),
 		fftTarget:   make([]int, nSym),
 		demodDone:   make([]int, nSym),
@@ -101,8 +102,67 @@ func (e *Engine) newFrameState(id uint32, slot int, t time.Time) *frameState {
 		arrivals:    make([]int, nSym),
 		gotPkt:      make([][]bool, nSym),
 	}
+	for s := range f.fftPend {
+		f.fftPend[s] = make([]uint16, 0, cfg.Antennas)
+	}
 	for s := range f.gotPkt {
 		f.gotPkt[s] = make([]bool, cfg.Antennas)
+	}
+	return f
+}
+
+// releaseFrameState returns a finished frame's state to the free-list.
+// Ownership rule (DESIGN §14): after finishFrame nothing may retain the
+// pointer — late completions are filtered by (slot, frame-id) before any
+// frameState is touched.
+func (e *Engine) releaseFrameState(f *frameState) {
+	if e.opts.noRecycle {
+		return
+	}
+	e.freeStates = append(e.freeStates, f)
+	e.met.FreeStates.Store(int64(len(e.freeStates)))
+}
+
+// newFrameState recycles a frameState off the free-list and re-derives
+// the per-frame targets. The steady-state path allocates nothing.
+func (e *Engine) newFrameState(id uint32, slot int, t time.Time) *frameState {
+	var f *frameState
+	if n := len(e.freeStates); n > 0 {
+		f = e.freeStates[n-1]
+		e.freeStates[n-1] = nil
+		e.freeStates = e.freeStates[:n-1]
+		e.met.FreeStates.Store(int64(n - 1))
+	} else {
+		f = e.allocFrameState()
+	}
+	cfg := &e.cfg
+	f.id, f.slot = id, slot
+	f.admitted = false
+	f.firstPkt, f.start = t, time.Time{}
+	f.pilotDoneT, f.zfDoneT = time.Time{}, time.Time{}
+	f.decodeDoneT, f.txDoneT, f.firstTXT = time.Time{}, time.Time{}, time.Time{}
+	f.pilotDone, f.pilotTarget = 0, 0
+	f.zfDone, f.zfTarget = 0, 0
+	f.decodeAll, f.decodeTotal = 0, 0
+	f.txDone, f.txTarget = 0, 0
+	f.staleValid, f.zfCached = false, false
+	f.remaining = 0
+	clear(f.fftDone)
+	clear(f.fftTarget)
+	clear(f.demodDone)
+	clear(f.demodTarget)
+	clear(f.decodeDone)
+	clear(f.encodeDone)
+	clear(f.precodeDone)
+	clear(f.ifftDone)
+	clear(f.demodEnq)
+	clear(f.precodeEnq)
+	clear(f.arrivals)
+	for s := range f.fftPend {
+		f.fftPend[s] = f.fftPend[s][:0]
+	}
+	for s := range f.gotPkt {
+		clear(f.gotPkt[s])
 	}
 	m := cfg.Antennas
 	g := cfg.ZFGroups()
@@ -110,7 +170,7 @@ func (e *Engine) newFrameState(id uint32, slot int, t time.Time) *frameState {
 	f.pilotTarget = cfg.NumPilots() * m
 	f.zfTarget = g
 	total := f.pilotTarget + f.zfTarget
-	for s := 0; s < nSym; s++ {
+	for s := 0; s < cfg.NumSymbols(); s++ {
 		switch cfg.SymbolAt(s) {
 		case frame.Uplink:
 			f.fftTarget[s] = m
@@ -148,10 +208,83 @@ func (e *Engine) admissible() bool {
 	if e.opts.Mode == PipelineParallel {
 		return true
 	}
-	if len(e.frames) == 0 {
+	if e.liveFrames == 0 {
 		return true
 	}
 	return e.outstanding < e.opts.Workers
+}
+
+// lookupFrame finds a live frame by id (slot scan; Slots is small).
+func (e *Engine) lookupFrame(id uint32) *frameState {
+	for _, f := range e.frameBySlot {
+		if f != nil && f.id == id {
+			return f
+		}
+	}
+	return nil
+}
+
+// pendingFor finds a buffered not-yet-admitted frame by id.
+func (e *Engine) pendingFor(id uint32) *pendingFrame {
+	for s := range e.pending {
+		if e.pending[s].used && e.pending[s].id == id {
+			return &e.pending[s]
+		}
+	}
+	return nil
+}
+
+// noteGhost records a rejected-at-admission frame in the fixed ghost
+// ring. A full ring evicts its oldest entry by emitting that entry's
+// Dropped result immediately instead of at timeout.
+func (e *Engine) noteGhost(id uint32) {
+	free := -1
+	for i := range e.ghosts {
+		g := &e.ghosts[i]
+		if g.used && g.id == id {
+			return
+		}
+		if !g.used && free < 0 {
+			free = i
+		}
+	}
+	if free < 0 {
+		oldest := 0
+		for i := range e.ghosts {
+			if e.ghosts[i].t.Before(e.ghosts[oldest].t) {
+				oldest = i
+			}
+		}
+		e.expireGhost(&e.ghosts[oldest])
+		free = oldest
+	}
+	e.ghosts[free] = ghostEntry{id: id, t: time.Now(), used: true}
+}
+
+// clearGhost forgets a ghost once one of its packets lands after all.
+func (e *Engine) clearGhost(id uint32) {
+	for i := range e.ghosts {
+		if e.ghosts[i].used && e.ghosts[i].id == id {
+			e.ghosts[i].used = false
+			return
+		}
+	}
+}
+
+// expireGhost emits a ghost's Dropped result and frees its ring entry.
+func (e *Engine) expireGhost(g *ghostEntry) {
+	g.used = false
+	e.met.FramesDropped.Add(1)
+	select {
+	case e.results <- FrameResult{Frame: g.id, Dropped: true, FirstPkt: g.t}:
+	default: // consumer too slow; drop the report, not the pipeline
+	}
+}
+
+// installFrame makes an admitted frame live in its slot.
+func (e *Engine) installFrame(f *frameState) {
+	e.frameBySlot[f.slot] = f
+	e.liveFrames++
 }
 
 // onRX handles one received-packet notification.
@@ -161,36 +294,36 @@ func (e *Engine) onRX(m queue.Msg) {
 		// an occupied buffer slot. If no packet ever lands, reapStale emits
 		// a Dropped result so consumers expecting one result per frame are
 		// not left waiting on a frame the engine silently rejected.
-		if _, live := e.frames[m.Frame]; live {
+		if e.lookupFrame(m.Frame) != nil || e.pendingFor(m.Frame) != nil {
 			return
 		}
-		if _, pend := e.pendingRx[m.Frame]; pend {
-			return
-		}
-		if _, seen := e.ghosts[m.Frame]; !seen {
-			e.ghosts[m.Frame] = time.Now()
-		}
+		e.noteGhost(m.Frame)
 		return
 	}
-	delete(e.ghosts, m.Frame) // a packet got through after all
-	if f, ok := e.frames[m.Frame]; ok {
+	e.clearGhost(m.Frame) // a packet got through after all
+	slot := int(m.Slot)
+	if f := e.frameBySlot[slot]; f != nil && f.id == m.Frame {
 		e.dispatchRX(f, m)
 		return
 	}
-	if pend, ok := e.pendingRx[m.Frame]; ok {
-		pend.msgs = append(pend.msgs, m)
-		e.pendingRx[m.Frame] = pend
+	// acceptPacket only passes packets of the slot's owner, so a used
+	// pending entry at this slot can only belong to the same frame.
+	if p := &e.pending[slot]; p.used && p.id == m.Frame {
+		p.msgs = append(p.msgs, m)
 		e.tryAdmitPending()
 		return
 	}
 	if e.admissible() {
-		f := e.newFrameState(m.Frame, int(m.Slot), time.Now())
-		e.frames[m.Frame] = f
+		f := e.newFrameState(m.Frame, slot, time.Now())
+		e.installFrame(f)
 		e.admitDownlink(f)
 		e.dispatchRX(f, m)
 		return
 	}
-	e.pendingRx[m.Frame] = pendingFrame{msgs: []queue.Msg{m}, first: time.Now()}
+	p := &e.pending[slot]
+	p.id, p.used, p.first = m.Frame, true, time.Now()
+	p.msgs = append(p.msgs[:0], m)
+	e.pendingCnt++
 }
 
 // admitDownlink enqueues the encode tasks of a newly admitted frame; the
@@ -239,23 +372,27 @@ func (e *Engine) flushFFT(f *frameState, sym int, t queue.TaskType) {
 	batch := e.cfg.FFTBatch
 	pend := f.fftPend[sym]
 	force := f.arrivals[sym] == e.cfg.Antennas
-	for len(pend) >= batch || (force && len(pend) > 0) {
+	// Consume by index rather than re-slicing the front: pend recycles with
+	// the frameState, and advancing its base pointer would strand capacity
+	// and make the per-frame appends in dispatchRX reallocate.
+	i := 0
+	for len(pend)-i >= batch || (force && len(pend)-i > 0) {
 		n := batch
-		if n > len(pend) {
-			n = len(pend)
+		if n > len(pend)-i {
+			n = len(pend) - i
 		}
 		// Emit the next run of contiguous indices.
 		run := 1
-		for run < n && pend[run] == pend[run-1]+1 {
+		for run < n && pend[i+run] == pend[i+run-1]+1 {
 			run++
 		}
 		e.enqueueTask(f, queue.Msg{
 			Type: t, Frame: f.id, Slot: uint32(f.slot), Symbol: uint16(sym),
-			TaskIdx: pend[0], Batch: uint8(run),
+			TaskIdx: pend[i], Batch: uint8(run),
 		})
-		pend = pend[run:]
+		i += run
 	}
-	f.fftPend[sym] = pend
+	f.fftPend[sym] = pend[:copy(pend, pend[i:])]
 }
 
 // enqueueTask puts a message on its task queue and accounts for it.
@@ -286,8 +423,13 @@ func (e *Engine) onCompletion(m queue.Msg) {
 		b = 1
 	}
 	e.outstanding -= b
-	f, ok := e.frames[m.Frame]
-	if !ok {
+	if m.Type == queue.TaskZF && m.Aux == 1 {
+		// A completed cache-copy task no longer reads the cache matrices;
+		// account it even if its frame was reaped so refresh can proceed.
+		e.zfc.copies -= b
+	}
+	f := e.frameBySlot[m.Slot]
+	if f == nil || f.id != m.Frame {
 		return // frame was reaped
 	}
 	cfg := &e.cfg
@@ -299,6 +441,18 @@ func (e *Engine) onCompletion(m queue.Msg) {
 		f.pilotDone += b
 		if f.pilotDone == f.pilotTarget {
 			f.pilotDoneT = now
+			// Coherence-cache decision (DESIGN §14): with the full pilot
+			// estimate in, compare it against the cached CSI snapshot. A
+			// hit turns every ZF task into a cache copy (Aux=1).
+			var aux uint64
+			if e.zfCacheHit(f) {
+				f.zfCached = true
+				aux = 1
+				e.zfc.age++
+				e.met.ZFCacheHits.Add(1)
+			} else if e.zfc.enabled {
+				e.met.ZFCacheMisses.Add(1)
+			}
 			// Enqueue all ZF groups, batched.
 			g := cfg.ZFGroups()
 			for lo := 0; lo < g; lo += cfg.ZFBatch {
@@ -306,9 +460,14 @@ func (e *Engine) onCompletion(m queue.Msg) {
 				if lo+n > g {
 					n = g - lo
 				}
+				if aux == 1 {
+					// Count before enqueue: the enqueue may drain this very
+					// completion and decrement.
+					e.zfc.copies += n
+				}
 				e.enqueueTask(f, queue.Msg{
 					Type: queue.TaskZF, Frame: f.id, Slot: uint32(f.slot),
-					TaskIdx: uint16(lo), Batch: uint8(n),
+					TaskIdx: uint16(lo), Batch: uint8(n), Aux: aux,
 				})
 			}
 		}
@@ -319,6 +478,13 @@ func (e *Engine) onCompletion(m queue.Msg) {
 			e.lastZF.frame = f.id
 			e.lastZF.slot = f.slot
 			e.lastZF.valid = true
+			if e.zfc.enabled && !f.zfCached && e.zfc.copies == 0 {
+				// Fresh recompute finished and no cache-copy task is in
+				// flight: snapshot this frame's CSI and ZF output. (If
+				// copies > 0 an older hit is still copying; skip the
+				// refresh rather than racing it — the next miss retries.)
+				e.refreshZFCache(f.slot)
+			}
 			for s := 0; s < cfg.NumSymbols(); s++ {
 				if cfg.SymbolAt(s) == frame.Uplink && f.fftDone[s] == f.fftTarget[s] {
 					e.enqueueDemod(f, s)
@@ -442,28 +608,77 @@ func (e *Engine) dlRank(sym int) int {
 	return r
 }
 
+// zfCacheHit decides whether frame f's pilot estimate is within the
+// coherence window of the cached snapshot: relative Frobenius delta under
+// ZFCacheDelta, summed over ZF groups, and snapshot age under
+// ZFCacheMaxAge frames.
+func (e *Engine) zfCacheHit(f *frameState) bool {
+	c := &e.zfc
+	if !c.enabled || !c.valid {
+		return false
+	}
+	if e.opts.ZFCacheMaxAge > 0 && c.age >= e.opts.ZFCacheMaxAge {
+		return false
+	}
+	var num, den float64
+	for g := range c.csi {
+		num += c.csi[g].FrobDiffSq(e.buf.csi[f.slot][g])
+		den += c.csi[g].FrobNormSq()
+	}
+	if den <= 0 {
+		return false
+	}
+	d := e.opts.ZFCacheDelta
+	return num <= d*d*den
+}
+
+// refreshZFCache snapshots slot's CSI and ZF output into the cache. Only
+// called with zero cache-copy tasks in flight, so no worker reads the
+// matrices being rewritten; subsequent hit frames observe the new data
+// through the task-queue enqueue/dequeue ordering.
+func (e *Engine) refreshZFCache(slot int) {
+	c := &e.zfc
+	for g := range c.csi {
+		copy(c.csi[g].Data, e.buf.csi[slot][g].Data)
+		copy(c.eq[g].Data, e.buf.eq[slot][g].Data)
+		if c.pre != nil {
+			copy(c.pre[g].Data, e.buf.pre[slot][g].Data)
+		}
+	}
+	c.valid = true
+	c.age = 0
+}
+
 // tryAdmitPending admits buffered frames when the gate opens.
 func (e *Engine) tryAdmitPending() {
-	if len(e.pendingRx) == 0 || !e.admissible() {
+	if e.pendingCnt == 0 || !e.admissible() {
 		return
 	}
 	// Admit the oldest pending frame.
-	var oldest uint32
-	first := true
-	for id := range e.pendingRx {
-		if first || id < oldest {
-			oldest = id
-			first = false
+	oldest := -1
+	for s := range e.pending {
+		if !e.pending[s].used {
+			continue
+		}
+		if oldest < 0 || e.pending[s].id < e.pending[oldest].id {
+			oldest = s
 		}
 	}
-	pend := e.pendingRx[oldest]
-	delete(e.pendingRx, oldest)
-	f := e.newFrameState(oldest, int(pend.msgs[0].Slot), pend.first)
-	e.frames[oldest] = f
+	if oldest < 0 {
+		return
+	}
+	p := &e.pending[oldest]
+	// Mark the entry free before dispatching: enqueueTask may drain
+	// completions and re-enter tryAdmitPending for other slots.
+	p.used = false
+	e.pendingCnt--
+	f := e.newFrameState(p.id, oldest, p.first)
+	e.installFrame(f)
 	e.admitDownlink(f)
-	for _, pm := range pend.msgs {
+	for _, pm := range p.msgs {
 		e.dispatchRX(f, pm)
 	}
+	p.msgs = p.msgs[:0]
 }
 
 // finishFrame emits the FrameResult and releases the slot.
@@ -520,16 +735,13 @@ func (e *Engine) finishFrame(f *frameState, dropped bool) {
 			}
 		}
 	}
-	delete(e.frames, f.id)
-	// Clear the RX-dedupe bitmap BEFORE releasing the slot: once the
-	// owner word is zero a new frame may claim the slot and start setting
-	// flags, which a late clear would wipe.
-	for sym := range e.rxSeen[f.slot] {
-		for a := range e.rxSeen[f.slot][sym] {
-			e.rxSeen[f.slot][sym][a].Store(false)
-		}
-	}
-	e.slotOwner[f.slot].Store(0)
+	e.frameBySlot[f.slot] = nil
+	e.liveFrames--
+	e.releaseSlot(f.slot)
+	// Recycle the state only after every read above; late completions for
+	// this frame are filtered by the (slot, id) check in onCompletion and
+	// never touch a recycled frameState (DESIGN §14).
+	e.releaseFrameState(f)
 	select {
 	case e.results <- res:
 	default: // consumer too slow; drop the report, not the pipeline
@@ -537,29 +749,51 @@ func (e *Engine) finishFrame(f *frameState, dropped bool) {
 	e.tryAdmitPending()
 }
 
+// releaseSlot clears the RX-dedupe bitmap and frees the slot-owner word.
+// The bitmap clear must come BEFORE releasing the slot: once the owner
+// word is zero a new frame may claim the slot and start setting flags,
+// which a late clear would wipe.
+func (e *Engine) releaseSlot(slot int) {
+	for sym := range e.rxSeen[slot] {
+		for a := range e.rxSeen[slot][sym] {
+			e.rxSeen[slot][sym][a].Store(false)
+		}
+	}
+	e.slotOwner[slot].Store(0)
+}
+
 // reapStale abandons frames that stopped making progress (lost packets).
 func (e *Engine) reapStale(now time.Time) {
 	frameTimeout := e.opts.FrameTimeout
-	for _, f := range e.frames {
-		if now.Sub(f.firstPkt) > frameTimeout {
+	for s := range e.frameBySlot {
+		if f := e.frameBySlot[s]; f != nil && now.Sub(f.firstPkt) > frameTimeout {
 			e.drops.Add(1)
 			e.finishFrame(f, true)
 		}
 	}
-	for id, pend := range e.pendingRx {
-		if now.Sub(pend.first) > frameTimeout {
-			delete(e.pendingRx, id)
-			e.drops.Add(1)
+	for s := range e.pending {
+		p := &e.pending[s]
+		if !p.used || now.Sub(p.first) <= frameTimeout {
+			continue
+		}
+		p.used = false
+		e.pendingCnt--
+		p.msgs = p.msgs[:0]
+		e.drops.Add(1)
+		// The pending frame claimed its buffer slot at acceptPacket; free
+		// it so later frames hashing to this slot are not ghosted forever
+		// (the old map-based path leaked the slot here), and report the
+		// drop like any other abandoned frame.
+		e.releaseSlot(s)
+		e.met.FramesDropped.Add(1)
+		select {
+		case e.results <- FrameResult{Frame: p.id, Dropped: true, FirstPkt: p.first}:
+		default: // consumer too slow; drop the report, not the pipeline
 		}
 	}
-	for id, t0 := range e.ghosts {
-		if now.Sub(t0) > frameTimeout {
-			delete(e.ghosts, id)
-			e.met.FramesDropped.Add(1)
-			select {
-			case e.results <- FrameResult{Frame: id, Dropped: true, FirstPkt: t0}:
-			default: // consumer too slow; drop the report, not the pipeline
-			}
+	for i := range e.ghosts {
+		if g := &e.ghosts[i]; g.used && now.Sub(g.t) > frameTimeout {
+			e.expireGhost(g)
 		}
 	}
 }

@@ -168,6 +168,32 @@ type Options struct {
 	// the paper suggests for ill-conditioned channels (§4.2).
 	UseMRC bool
 
+	// DisableZFCache turns off the coherence-cached zero-forcing path:
+	// every frame recomputes its equalizer (and precoder) from its own
+	// pilot estimate. With the cache on (the default, following the
+	// package's zero-value-on convention), the manager compares each
+	// frame's pilot-estimated CSI against the snapshot taken when the
+	// cache was last refreshed and — while the relative Frobenius delta
+	// stays under ZFCacheDelta and the snapshot is younger than
+	// ZFCacheMaxAge frames — replaces the Gram/Cholesky recompute with a
+	// plain copy of the cached matrices (DESIGN §14). Decoded output is
+	// bit-identical whenever the cache never hits (e.g. i.i.d. per-frame
+	// channels), making this a Table-4-style ablation pair.
+	DisableZFCache bool
+
+	// ZFCacheDelta is the coherence window's relative CSI-change
+	// threshold: the cache serves frame f only while
+	// ‖H_f − H_cache‖_F ≤ ZFCacheDelta·‖H_cache‖_F summed over ZF
+	// groups. Zero means 0.05 (≈ the estimation-noise floor at the
+	// paper's operating SNRs; channel motion quickly exceeds it).
+	ZFCacheDelta float64
+
+	// ZFCacheMaxAge caps how many consecutive frames one cached ZF may
+	// serve before a forced recompute, bounding error accumulation under
+	// slow drift the norm test cannot see. Zero means 64 frames;
+	// negative means no age limit.
+	ZFCacheMaxAge int
+
 	// StaleDLSymbols lets the first n downlink data symbols of a frame be
 	// precoded with the PREVIOUS frame's precoder (§3.4.2), so their
 	// samples reach the RRU before this frame's pilots have even been
@@ -185,6 +211,11 @@ type Options struct {
 	// FrameTimeout abandons a frame whose packets stopped arriving,
 	// keeping the engine live under fronthaul loss. Zero means 2s.
 	FrameTimeout time.Duration
+
+	// noRecycle (tests only) bypasses the frameState free-list so every
+	// admitted frame gets a freshly allocated state, the reference
+	// behaviour TestFrameStateRecycling pins recycled output against.
+	noRecycle bool
 }
 
 // withDefaults fills unset fields.
@@ -203,6 +234,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TraceCapacity <= 0 {
 		o.TraceCapacity = 1 << 10
+	}
+	if o.ZFCacheDelta <= 0 {
+		o.ZFCacheDelta = 0.05
+	}
+	if o.ZFCacheMaxAge == 0 {
+		o.ZFCacheMaxAge = 64
 	}
 	return o
 }

@@ -203,6 +203,7 @@ func Table4(w io.Writer, o Opt) error {
 		{"split-radix FFT off", with(base, func(op *core.Options) { op.DisableSplitRadixFFT = true })},
 		{"SoA LLR off", with(base, func(op *core.Options) { op.DisableSoALLR = true })},
 		{"lane decode off", with(base, func(op *core.Options) { op.DisableLaneDecode = true })},
+		{"ZF cache off", with(base, func(op *core.Options) { op.DisableZFCache = true })},
 		{"real-time mode on", with(base, func(op *core.Options) { op.RealTime = true })},
 	}
 	fmt.Fprintf(w, "%-20s %-10s %-8s %-10s %-8s\n", "configuration", "median", "ratio", "p99.9", "ratio")

@@ -29,11 +29,18 @@ var ErrClosed = errors.New("fronthaul: transport closed")
 // Ring is the in-process transport: a pair of deep buffered channels over
 // preallocated packet buffers, the stand-in for DPDK's kernel-bypass
 // queues (no syscalls, no copies beyond the payload write itself).
+//
+// Buffers recycle through a buffered channel rather than a sync.Pool:
+// putting a []byte into a pool boxes the slice header into an interface
+// and allocates ~once per packet, which alone keeps a steady-state frame
+// from reaching zero allocations. The channel free-list moves the same
+// headers with no boxing; buffers are allocated lazily on an empty list
+// and dropped (for the GC) when the list is full.
 type Ring struct {
 	mtu  int
 	a2b  chan []byte
 	b2a  chan []byte
-	pool sync.Pool
+	free chan []byte
 	mu   sync.Mutex
 	done chan struct{}
 }
@@ -46,10 +53,32 @@ func NewRing(depth, mtu int) *Ring {
 		mtu:  mtu,
 		a2b:  make(chan []byte, depth),
 		b2a:  make(chan []byte, depth),
+		free: make(chan []byte, 2*depth+16),
 		done: make(chan struct{}),
 	}
-	r.pool.New = func() any { return make([]byte, 0, mtu) }
 	return r
+}
+
+// getBuf pops a recycled buffer, allocating only when the free-list is
+// empty (startup, or bursts beyond anything previously in flight).
+func (r *Ring) getBuf() []byte {
+	select {
+	case b := <-r.free:
+		return b
+	default:
+		return make([]byte, 0, r.mtu)
+	}
+}
+
+// putBuf recycles a buffer; a full free-list just drops it.
+func (r *Ring) putBuf(b []byte) {
+	if cap(b) < r.mtu {
+		return // foreign or truncated buffer; never hand it back out
+	}
+	select {
+	case r.free <- b[:0]:
+	default:
+	}
 }
 
 // Endpoint is one side of a Ring.
@@ -76,7 +105,7 @@ func (e *Endpoint) Send(pkt []byte) error {
 		return ErrClosed
 	default:
 	}
-	buf := e.r.pool.Get().([]byte)[:len(pkt)]
+	buf := e.r.getBuf()[:len(pkt)]
 	copy(buf, pkt)
 	select {
 	case e.tx <- buf:
@@ -84,7 +113,7 @@ func (e *Endpoint) Send(pkt []byte) error {
 	case <-e.r.done:
 		return ErrClosed
 	default:
-		e.r.pool.Put(buf[:0])
+		e.r.putBuf(buf)
 		return nil // dropped, like a full NIC queue
 	}
 }
@@ -106,7 +135,7 @@ func (e *Endpoint) Recv() ([]byte, bool) {
 }
 
 // Release implements Transport.
-func (e *Endpoint) Release(pkt []byte) { e.r.pool.Put(pkt[:0]) }
+func (e *Endpoint) Release(pkt []byte) { e.r.putBuf(pkt) }
 
 // Close implements Transport; closing either endpoint closes the ring.
 func (e *Endpoint) Close() error {

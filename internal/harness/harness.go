@@ -32,6 +32,10 @@ type RunSummary struct {
 	// DeadlineMisses counts frames that finished past the on-air frame
 	// budget (the engine's live deadline counter).
 	DeadlineMisses int64
+	// ZFCacheHits/Misses count the coherence-cache decision at each pilot
+	// completion (DESIGN §14). Both zero when the cache is disabled.
+	ZFCacheHits   int64
+	ZFCacheMisses int64
 	// Timeline is the reconstructed multi-frame schedule from the event
 	// tracer: per-frame stage spans, worker utilization, idle gaps. Nil
 	// when Options.DisableTracing is set.
@@ -69,6 +73,7 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 	eng.Start()
 	defer eng.Stop()
 	rru := ring.Side(0)
+	send := rru.Send // bound once: a per-frame method value would allocate
 	sum := &RunSummary{
 		Latency:    stats.NewReservoir(nFrames),
 		QueueDelay: stats.NewReservoir(nFrames),
@@ -92,7 +97,7 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 	// percentiles describe steady state.
 	const warmup = 2
 	for f := 0; f < warmup; f++ {
-		if err := gen.EmitFrame(uint32(f), rru.Send); err != nil {
+		if err := gen.EmitFrame(uint32(f), send); err != nil {
 			return sum, err
 		}
 		if _, err := recv(); err != nil {
@@ -114,7 +119,7 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 		go func() {
 			next := time.Now()
 			for f := 0; f < nFrames; f++ {
-				if err := gen.EmitFrame(uint32(warmup+f), rru.Send); err != nil {
+				if err := gen.EmitFrame(uint32(warmup+f), send); err != nil {
 					done <- err
 					return
 				}
@@ -137,7 +142,7 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 		}
 	} else {
 		for f := 0; f < nFrames; f++ {
-			if err := gen.EmitFrame(uint32(warmup+f), rru.Send); err != nil {
+			if err := gen.EmitFrame(uint32(warmup+f), send); err != nil {
 				return sum, err
 			}
 			r, err := recv()
@@ -165,6 +170,8 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 	eng.Stop() // quiesce workers so the trace rings are readable
 	sum.TaskStats = eng.TaskStats()
 	sum.DeadlineMisses = eng.Metrics().DeadlineMiss.Load()
+	sum.ZFCacheHits = eng.Metrics().ZFCacheHits.Load()
+	sum.ZFCacheMisses = eng.Metrics().ZFCacheMisses.Load()
 	if eng.TracingEnabled() {
 		sum.Timeline = eng.Timeline()
 	}

@@ -17,8 +17,18 @@ func InvertInto(dst, a *M) error {
 	if a.Cols != n || dst.Rows != n || dst.Cols != n {
 		panic("mat: InvertInto needs square matrices of equal size")
 	}
+	return invertScratch(dst, a, make([]complex128, n*2*n))
+}
+
+// invertScratch is InvertInto over caller-provided scratch (len >= 2n²),
+// the allocation-free path ZFEqualizerInto takes through its workspace.
+func invertScratch(dst, a *M, w []complex128) error {
+	n := a.Rows
 	// Augmented [A | I] in complex128 scratch.
-	w := make([]complex128, n*2*n)
+	w = w[:n*2*n]
+	for i := range w {
+		w[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			w[i*2*n+j] = complex128(a.At(i, j))
@@ -75,11 +85,20 @@ func InvertInto(dst, a *M) error {
 // the per-subcarrier-group ZF task allocates nothing after setup.
 type ZFWorkspace struct {
 	gram, gramInv, chol *M
+	inv                 []complex128 // Gauss–Jordan augmented scratch (2K²)
+	norms               []float64    // per-user channel column power (MRC)
+	eqTmp               *M           // K×M equalizer staging for the precoder,
+	// sized lazily on first ZFPrecoderInto (the workspace is built
+	// knowing only K)
 }
 
 // NewZFWorkspace sizes the workspace for K users.
 func NewZFWorkspace(k int) *ZFWorkspace {
-	return &ZFWorkspace{gram: New(k, k), gramInv: New(k, k), chol: New(k, k)}
+	return &ZFWorkspace{
+		gram: New(k, k), gramInv: New(k, k), chol: New(k, k),
+		inv:   make([]complex128, k*2*k),
+		norms: make([]float64, k),
+	}
 }
 
 // ZFEqualizerInto computes the zero-forcing receive equalizer
@@ -102,7 +121,7 @@ func ZFEqualizerInto(dst, h *M, ws *ZFWorkspace) error {
 		CholeskySolveInPlace(ws.chol, dst)
 		return nil
 	}
-	if err := InvertInto(ws.gramInv, ws.gram); err != nil {
+	if err := invertScratch(ws.gramInv, ws.gram, ws.inv); err != nil {
 		return err
 	}
 	// dst = gramInv (K×K) * Hᴴ (K×M): compute as (gramInv * Hᴴ) without
@@ -139,7 +158,10 @@ func ZFPrecoderInto(dst, h *M, ws *ZFWorkspace) error {
 	if dst.Rows != m || dst.Cols != k {
 		panic("mat: ZFPrecoderInto shape mismatch")
 	}
-	eq := New(k, m)
+	if ws.eqTmp == nil || ws.eqTmp.Rows != k || ws.eqTmp.Cols != m {
+		ws.eqTmp = New(k, m) // one-time; every later call reuses it
+	}
+	eq := ws.eqTmp
 	if err := ZFEqualizerInto(eq, h, ws); err != nil {
 		return err
 	}
@@ -168,12 +190,25 @@ func ZFPrecoderInto(dst, h *M, ws *ZFWorkspace) error {
 // equalizer W = D⁻¹Hᴴ where D = diag(‖h_k‖²), the lower-overhead
 // alternative the paper cites for ill-conditioned channels (§4.2).
 func ConjugateEqualizerInto(dst, h *M) {
+	conjugateEqualizer(dst, h, make([]float64, h.Cols))
+}
+
+// ConjugateEqualizerIntoWS is ConjugateEqualizerInto over workspace
+// scratch, the allocation-free path the engine's ZF task takes (both for
+// Options.UseMRC and as the singular-channel fallback).
+func ConjugateEqualizerIntoWS(dst, h *M, ws *ZFWorkspace) {
+	conjugateEqualizer(dst, h, ws.norms[:h.Cols])
+}
+
+func conjugateEqualizer(dst, h *M, norms []float64) {
 	k := h.Cols
 	m := h.Rows
 	if dst.Rows != k || dst.Cols != m {
 		panic("mat: ConjugateEqualizerInto shape mismatch")
 	}
-	norms := make([]float64, k)
+	for i := range norms {
+		norms[i] = 0
+	}
 	for r := 0; r < m; r++ {
 		row := h.Row(r)
 		for c, v := range row {

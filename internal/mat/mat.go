@@ -123,6 +123,29 @@ func (m *M) FrobNorm() float64 {
 	return math.Sqrt(s)
 }
 
+// FrobNormSq returns the squared Frobenius norm in float64.
+func (m *M) FrobNormSq() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(real(v))*float64(real(v)) + float64(imag(v))*float64(imag(v))
+	}
+	return s
+}
+
+// FrobDiffSq returns ‖m − o‖²_F, the squared Frobenius norm of the
+// difference (the coherence test the ZF cache runs per pilot).
+func (m *M) FrobDiffSq(o *M) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("mat: FrobDiffSq shape mismatch")
+	}
+	var s float64
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		s += float64(real(d))*float64(real(d)) + float64(imag(d))*float64(imag(d))
+	}
+	return s
+}
+
 // MaxAbsDiff returns max_{ij} |m_ij - o_ij|.
 func (m *M) MaxAbsDiff(o *M) float64 {
 	if m.Rows != o.Rows || m.Cols != o.Cols {

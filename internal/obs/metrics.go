@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/queue"
@@ -38,6 +39,14 @@ type Metrics struct {
 	// high-water mark across the run.
 	QueueDepth [NumGauges]atomic.Int64
 	QueueMax   [NumGauges]atomic.Int64
+
+	// Arena/GC health (DESIGN §14): FreeStates gauges the frameState
+	// free-list occupancy (it sitting at zero under load means more
+	// concurrent frames than provisioned slots); ZFCacheHits/Misses
+	// count the coherence-cache decision at each pilot completion.
+	FreeStates    atomic.Int64
+	ZFCacheHits   atomic.Int64
+	ZFCacheMisses atomic.Int64
 }
 
 // ObserveFrame records one completed frame against the budget.
@@ -84,6 +93,23 @@ type TaskSnap struct {
 	TotalMS float64 `json:"total_ms"`
 }
 
+// ArenaSnap reports steady-state memory health: free-list occupancy and
+// the ZF coherence-cache hit rate.
+type ArenaSnap struct {
+	FreeStates     int64   `json:"free_states"`
+	ZFCacheHits    int64   `json:"zf_cache_hits"`
+	ZFCacheMisses  int64   `json:"zf_cache_misses"`
+	ZFCacheHitRate float64 `json:"zf_cache_hit_rate"`
+}
+
+// GCSnap carries the process-wide garbage-collector totals (from
+// runtime.ReadMemStats) so a dashboard can confirm the zero-allocation
+// frame loop keeps GC quiet mid-run.
+type GCSnap struct {
+	NumGC        uint32  `json:"num_gc"`
+	PauseTotalMS float64 `json:"pause_total_ms"`
+}
+
 // Snapshot is the JSON-friendly view of Metrics that expvar publishes.
 type Snapshot struct {
 	Frames        int64                 `json:"frames"`
@@ -93,6 +119,8 @@ type Snapshot struct {
 	Latency       LatencySnap           `json:"latency"`
 	Queues        map[string]QueueGauge `json:"queues"`
 	Tasks         map[string]TaskSnap   `json:"tasks"`
+	Arena         ArenaSnap             `json:"arena"`
+	GC            GCSnap                `json:"gc"`
 }
 
 // gaugeName labels a gauge index for snapshots.
@@ -132,6 +160,18 @@ func (m *Metrics) Snap() Snapshot {
 			Max:   m.QueueMax[i].Load(),
 		}
 	}
+	hits, misses := m.ZFCacheHits.Load(), m.ZFCacheMisses.Load()
+	s.Arena = ArenaSnap{
+		FreeStates:    m.FreeStates.Load(),
+		ZFCacheHits:   hits,
+		ZFCacheMisses: misses,
+	}
+	if hits+misses > 0 {
+		s.Arena.ZFCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	s.GC = GCSnap{NumGC: mem.NumGC, PauseTotalMS: float64(mem.PauseTotalNs) / 1e6}
 	return s
 }
 

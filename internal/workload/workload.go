@@ -54,6 +54,20 @@ type Generator struct {
 	iq       []int16
 	pkt      []byte
 	zcRoot   int
+
+	// Steady-state scratch: the per-frame emit path allocates nothing.
+	// TruthBits rows are preallocated for uplink symbols and overwritten
+	// in place each frame; cwBuf/padBuf hold one user's codeword and its
+	// symbol-padded copy; pilotBand caches each user's transmitted pilot
+	// over the data band.
+	cwBuf     []byte
+	padBuf    []byte
+	pilotBand [][]complex64
+
+	// doppler, when in (0,1), ages the channel by one Gauss-Markov step
+	// at the start of every EmitFrame (see SetDoppler). Zero keeps the
+	// default block-fading behaviour: H static across frames.
+	doppler float64
 }
 
 // NewGenerator builds a generator. cfg must already be validated.
@@ -89,6 +103,19 @@ func NewGenerator(cfg frame.Config, model channel.Model, snrDB float64, seed int
 	g.TruthBits = make([][][]byte, cfg.Users)
 	for u := range g.TruthBits {
 		g.TruthBits[u] = make([][]byte, cfg.NumSymbols())
+		for s := 0; s < cfg.NumSymbols(); s++ {
+			if cfg.SymbolAt(s) == frame.Uplink {
+				g.TruthBits[u][s] = make([]byte, g.code.K())
+			}
+		}
+	}
+	n := g.code.N()
+	scUsed := (n + int(cfg.Order) - 1) / int(cfg.Order)
+	g.cwBuf = make([]byte, n)
+	g.padBuf = make([]byte, scUsed*int(cfg.Order)) // tail beyond N stays zero
+	g.pilotBand = make([][]complex64, cfg.Users)
+	for u := range g.pilotBand {
+		g.pilotBand[u] = g.PilotFreq(u, u)
 	}
 	g.gains = make([]float32, cfg.Antennas)
 	channel.Draw(g.H, model, g.rng)
@@ -213,11 +240,22 @@ func (g *Generator) PilotFreq(u, p int) []complex64 {
 	}
 }
 
+// SetDoppler switches the generator to a time-varying channel: each
+// EmitFrame call first ages H by one Gauss-Markov step with correlation
+// rho in (0,1), modeling user mobility (higher rho = slower fading).
+// Values outside (0,1) restore the default block-fading behaviour — a
+// static, frame-coherent H — which is what lets the engine's ZF
+// coherence cache hit.
+func (g *Generator) SetDoppler(rho float64) { g.doppler = rho }
+
 // EmitFrame generates all packets of one uplink frame and hands each to
 // emit (typically Transport.Send). Frame content is freshly randomized;
 // ground-truth bits are recorded in TruthBits.
 func (g *Generator) EmitFrame(frameID uint32, emit func(pkt []byte) error) error {
 	cfg := &g.Cfg
+	if g.doppler > 0 && g.doppler < 1 {
+		g.Evolve(g.doppler)
+	}
 	pilotSeen := 0
 	for s := 0; s < cfg.NumSymbols(); s++ {
 		switch cfg.SymbolAt(s) {
@@ -237,12 +275,17 @@ func (g *Generator) EmitFrame(frameID uint32, emit func(pkt []byte) error) error
 	return nil
 }
 
-// emitPilotSymbol builds the received pilot at every antenna.
+// emitPilotSymbol builds the received pilot at every antenna. The pilot
+// bands come from the pilotBand cache: with time-orthogonal pilots only
+// user pilotIdx transmits (the rest stay zero), matching PilotFreq.
 func (g *Generator) emitPilotSymbol(frameID uint32, sym, pilotIdx int, emit func([]byte) error) error {
 	cfg := &g.Cfg
 	for u := 0; u < cfg.Users; u++ {
 		cf.Fill(g.userFreq[u], 0)
-		copy(g.userFreq[u][cfg.DataStart():], g.PilotFreq(u, pilotIdx))
+		if cfg.Pilots == frame.TimeOrthogonal && u != pilotIdx {
+			continue // silent on another user's pilot symbol
+		}
+		copy(g.userFreq[u][cfg.DataStart():], g.pilotBand[u])
 	}
 	return g.mixAndEmit(frameID, sym, emit)
 }
@@ -254,19 +297,19 @@ func (g *Generator) emitUplinkSymbol(frameID uint32, sym int, emit func([]byte) 
 	n := g.code.N()
 	scUsed := (n + int(cfg.Order) - 1) / int(cfg.Order)
 	for u := 0; u < cfg.Users; u++ {
-		info := make([]byte, g.code.K())
+		// Overwrite the preallocated truth row in place; callers read it
+		// before the next EmitFrame (per-frame scoring), so reuse is safe
+		// and the emit path allocates nothing.
+		info := g.TruthBits[u][sym]
 		for i := range info {
 			info[i] = byte(g.rng.Intn(2))
 		}
-		g.TruthBits[u][sym] = info
-		cw := make([]byte, n+int(cfg.Order)*scUsed-n) // padded to symbol boundary
-		cw = cw[:n]
-		g.code.Encode(cw, info)
-		// Pad coded bits to a whole number of constellation symbols.
-		padded := make([]byte, scUsed*int(cfg.Order))
-		copy(padded, cw)
+		g.code.Encode(g.cwBuf, info)
+		// Pad coded bits to a whole number of constellation symbols: the
+		// padBuf tail beyond N is zero from allocation and never written.
+		copy(g.padBuf, g.cwBuf)
 		cf.Fill(g.userFreq[u], 0)
-		g.tab.Modulate(g.userFreq[u][cfg.DataStart():cfg.DataStart()+scUsed], padded)
+		g.tab.Modulate(g.userFreq[u][cfg.DataStart():cfg.DataStart()+scUsed], g.padBuf)
 	}
 	return g.mixAndEmit(frameID, sym, emit)
 }
