@@ -48,8 +48,11 @@ baseline:
 # Table1 also matches Table1_SteadyStateFrame, which the zero-alloc gate
 # additionally holds to exactly 0 allocs/op and 0 B/op (DESIGN §14): any
 # allocation creeping back into the recycled frame loop fails the build.
+# The -ingest pass benches acceptPacket in both RX modes and fails if
+# the zero-copy lease path falls behind its copying ablation (DESIGN §15).
 perf:
 	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json -compare-bench 'Table1|Fig9|Table4_AllOptimizationsOn|Decode_' -compare-zero-alloc 'SteadyState'
+	$(GO) run ./cmd/bench -ingest
 
 clean:
 	$(GO) clean

@@ -175,6 +175,20 @@ func PaperCostModel() sim.CostModel { return sim.PaperCosts() }
 // RunSummary aggregates a batch uplink run.
 type RunSummary = harness.RunSummary
 
+// Link models the fronthaul for RunUplinkLink: an optional Reed-Solomon
+// parity budget and a deterministic loss injector. The zero value is a
+// lossless link with FEC off.
+type Link = harness.Link
+
+// LossInjector deterministically discards fronthaul packets (drop every
+// Nth, seeded random rate, or both) for loss experiments.
+type LossInjector = fronthaul.LossInjector
+
+// NewLossInjector builds a loss injector; see fronthaul.NewLossInjector.
+func NewLossInjector(every int, rate float64, seed int64) *LossInjector {
+	return fronthaul.NewLossInjector(every, rate, seed)
+}
+
 // RunUplink drives nFrames uplink frames from a fresh software RRU
 // through a fresh engine and aggregates latency and error statistics.
 // It is the workhorse used by the examples and the benchmark harness.
@@ -184,4 +198,12 @@ type RunSummary = harness.RunSummary
 func RunUplink(cfg Config, opts Options, model ChannelModel, snrDB float64,
 	nFrames int, realtimePacing bool, seed int64) (*RunSummary, error) {
 	return harness.RunUplink(cfg, opts, model, snrDB, nFrames, realtimePacing, seed)
+}
+
+// RunUplinkLink is RunUplink over a configurable fronthaul link: packet
+// loss injected between RRU and engine, optionally covered by a
+// Reed-Solomon parity budget (DESIGN §15).
+func RunUplinkLink(cfg Config, opts Options, model ChannelModel, snrDB float64,
+	nFrames int, realtimePacing bool, seed int64, link Link) (*RunSummary, error) {
+	return harness.RunUplinkLink(cfg, opts, model, snrDB, nFrames, realtimePacing, seed, link)
 }

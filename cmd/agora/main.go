@@ -35,6 +35,8 @@ func main() {
 		metrics = flag.String("metrics-addr", "", "serve live metrics (expvar /debug/vars) and pprof on this address")
 		traceF  = flag.String("trace", "", "write the captured frame window as Chrome trace_event JSON on shutdown")
 		noTrace = flag.Bool("no-trace", false, "disable the per-worker event tracer")
+		fec     = flag.Int("fec", 0, "Reed-Solomon parity packets per symbol burst (match the RRU's -fec)")
+		rxCopy  = flag.Bool("rx-copy", false, "use the copying RX ablation instead of zero-copy leases")
 	)
 	flag.Parse()
 
@@ -54,6 +56,7 @@ func main() {
 	}
 	eng, err := agora.New(cfg, agora.Options{
 		Workers: *workers, RealTime: *rt, DisableTracing: *noTrace,
+		FECParity: *fec, DisableZeroCopyRX: *rxCopy,
 	}, tr)
 	if err != nil {
 		log.Fatal(err)
@@ -106,6 +109,9 @@ func main() {
 				m.DeadlineMiss.Load(), time.Duration(m.FrameBudgetNS.Load()))
 			fmt.Printf("agora: latency %s\n", lat.Summary())
 			fmt.Printf("agora: blocks decoded %d/%d, packet drops %d\n", ok, total, eng.Drops())
+			fh := eng.MetricsSnapshot().Fronthaul
+			fmt.Printf("agora: fronthaul rx %d pkts, seq gaps %d, late %d, FEC recovered %d\n",
+				fh.RxPkts, fh.SeqGaps, fh.SeqLate, fh.FECRecovered)
 			fmt.Println("agora: per-task costs:")
 			for _, t := range []agora.TaskType{agora.TaskPilotFFT, agora.TaskZF,
 				agora.TaskFFT, agora.TaskDemod, agora.TaskDecode} {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// runIngest implements the -ingest mode: run the packet-accept
+// microbenchmark pair (BenchmarkIngest_ZeroCopy / BenchmarkIngest_Copy
+// in internal/core) and report the zero-copy speedup. The regression
+// gate in `make perf` calls this after the baseline comparison: it
+// fails when the leased zero-copy path has fallen measurably behind
+// the copying ablation it exists to beat.
+func runIngest(count int) error {
+	b := Baseline{Benchmarks: map[string]BaselineEntry{}}
+	samples := map[string][]benchSample{}
+	args := []string{"test", "-run", "^$", "-bench", "BenchmarkIngest_",
+		"-benchmem", "-count", strconv.Itoa(count), "./internal/core"}
+	fmt.Fprintf(os.Stderr, "ingest: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	pr, pw := io.Pipe()
+	cmd.Stdout = io.MultiWriter(os.Stderr, pw)
+	cmd.Stderr = os.Stderr
+	errc := make(chan error, 1)
+	go func() { errc <- parseBenchOutput(pr, &b, samples) }()
+	runErr := cmd.Run()
+	pw.Close()
+	if perr := <-errc; perr != nil {
+		return perr
+	}
+	if runErr != nil {
+		return fmt.Errorf("go test -bench: %w", runErr)
+	}
+	finalizeBaseline(&b, samples)
+	zc, err := ingestEntry(&b, "BenchmarkIngest_ZeroCopy")
+	if err != nil {
+		return err
+	}
+	cp, err := ingestEntry(&b, "BenchmarkIngest_Copy")
+	if err != nil {
+		return err
+	}
+	ratio := cp.NsPerOp / zc.NsPerOp
+	fmt.Printf("ingest: zero-copy %.0f ns/frame-burst (%.1f B/op), copy %.0f ns/frame-burst (%.1f B/op)\n",
+		zc.NsPerOp, zc.BytesPerOp, cp.NsPerOp, cp.BytesPerOp)
+	fmt.Printf("ingest: zero-copy speedup %.2fx\n", ratio)
+	// The gate is deliberately loose (scheduler noise on shared hosts):
+	// zero-copy only fails the build when it is clearly SLOWER than the
+	// copying ablation it replaced.
+	if zc.NsPerOp > cp.NsPerOp*1.10 {
+		return fmt.Errorf("zero-copy ingest regressed: %.0f ns/op vs copy %.0f ns/op",
+			zc.NsPerOp, cp.NsPerOp)
+	}
+	return nil
+}
+
+// ingestEntry finds one benchmark's median by name prefix (the recorded
+// names carry the -<GOMAXPROCS> suffix).
+func ingestEntry(b *Baseline, prefix string) (BaselineEntry, error) {
+	for name, e := range b.Benchmarks {
+		if strings.HasPrefix(name, prefix) {
+			return e, nil
+		}
+	}
+	return BaselineEntry{}, fmt.Errorf("benchmark %s not found in output", prefix)
+}

@@ -50,6 +50,9 @@ func main() {
 
 		stages = flag.String("stages", "", "capture a traced uplink run and write the per-stage breakdown JSON (Table-2 analogue) to this path ('-' for stdout)")
 
+		ingest      = flag.Bool("ingest", false, "run the RX ingest microbenchmark pair (zero-copy vs copy) and report the speedup")
+		ingestCount = flag.Int("ingest-count", 5, "samples per ingest benchmark (medians compared)")
+
 		compare  = flag.String("compare", "", "baseline JSON to check for regressions (exits non-zero on >tolerance median regression)")
 		cmpBench = flag.String("compare-bench", "Table1|Fig9", "benchmark regexp re-run for the comparison")
 		cmpCount = flag.Int("compare-count", 5, "samples per benchmark for the comparison (matches -baseline-count so both medians have the same sturdiness)")
@@ -69,6 +72,13 @@ func main() {
 	if *stages != "" {
 		if err := runStages(*stages, *full, *frames, *workers, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "stages failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ingest {
+		if err := runIngest(*ingestCount); err != nil {
+			fmt.Fprintf(os.Stderr, "ingest failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -27,6 +27,11 @@ func main() {
 		cfgPath = flag.String("config", "", "JSON cell configuration file (overrides -scale)")
 		pace    = flag.Bool("pace", true, "pace frames at the configured frame rate")
 		seed    = flag.Int64("seed", 1, "workload seed")
+
+		fec       = flag.Int("fec", 0, "Reed-Solomon parity packets per symbol burst (0 = off)")
+		dropEvery = flag.Int("drop-every", 0, "deterministically drop every Nth packet (0 = off)")
+		dropRate  = flag.Float64("drop-rate", 0, "randomly drop packets at this rate (0 = off)")
+		lossSeed  = flag.Int64("loss-seed", 1, "seed for the random loss component")
 	)
 	flag.Parse()
 
@@ -49,8 +54,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := gen.SetFECParity(*fec); err != nil {
+		log.Fatal(err)
+	}
+	loss := agora.NewLossInjector(*dropEvery, *dropRate, *lossSeed)
+	sendPkt := loss.Wrap(tr.Send)
 	fmt.Printf("rru: %s\n", cfg.String())
-	fmt.Printf("rru: streaming to %s (pace=%v, SNR=%.1f dB)\n", *dst, *pace, *snr)
+	fmt.Printf("rru: streaming to %s (pace=%v, SNR=%.1f dB, fec=%d)\n", *dst, *pace, *snr, *fec)
+	if loss.Active() {
+		fmt.Printf("rru: injecting loss (every=%d, rate=%.4f, seed=%d)\n", *dropEvery, *dropRate, *lossSeed)
+	}
 
 	frameDur := cfg.FrameDuration()
 	start := time.Now()
@@ -59,7 +72,7 @@ func main() {
 	for f := 0; *frames == 0 || f < *frames; f++ {
 		if err := gen.EmitFrame(uint32(f), func(pkt []byte) error {
 			sent++
-			return tr.Send(pkt)
+			return sendPkt(pkt)
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -76,6 +89,9 @@ func main() {
 		}
 	}
 	fmt.Printf("rru: done, %d packets in %v\n", sent, time.Since(start).Round(time.Millisecond))
+	if loss.Active() {
+		fmt.Printf("rru: loss injector dropped %d of %d packets\n", loss.Dropped(), loss.Sent())
+	}
 }
 
 func presetConfig(scale string) agora.Config {

@@ -46,9 +46,12 @@ type worker struct {
 	// llrGather so the LDPC kernel keeps its contiguous input.
 	soaLLR    bool
 	llrGather []float32
-	// payloadRun collects an antenna run's rxRaw payloads for the batched
-	// pilot front end (one lane per payload).
+	// payloadRun collects an antenna run's RX payloads for the batched
+	// pilot front end (one lane per payload); leaseRun tracks the
+	// zero-copy leases claimed for the run so they release after the
+	// batched transform consumes them.
 	payloadRun [][]byte
+	leaseRun   []*rxLease
 
 	dec    *ldpc.Decoder
 	zfws   *mat.ZFWorkspace
@@ -103,6 +106,7 @@ func newWorker(id int, e *Engine) *worker {
 	}
 	w.ifftBuf = make([]complex64, batchLanes*cfg.OFDMSize)
 	w.payloadRun = make([][]byte, 0, batchLanes)
+	w.leaseRun = make([]*rxLease, 0, batchLanes)
 	w.soaLLR = !e.opts.DisableSoALLR
 	if w.soaLLR {
 		w.llrGather = make([]float32, e.scUsed*int(cfg.Order))
@@ -160,8 +164,12 @@ func (w *worker) fftIntoDataBand(payload []byte) {
 // every ZF group's CSI matrix — disjoint from all other tasks.
 func (w *worker) runPilotFFT(slot int, sym, ant uint16, pilotIdx int) {
 	cfg := &w.eng.cfg
-	b := w.eng.buf
-	w.fftIntoDataBand(b.rxRaw[slot][sym][ant])
+	pay, l := w.eng.rxPayload(slot, sym, ant)
+	if pay == nil {
+		return // lease reclaimed: the frame died before this task ran
+	}
+	w.fftIntoDataBand(pay)
+	w.eng.releaseRx(l) // payload consumed; the transform lives in freqBuf
 	band := w.freqBuf[cfg.DataStart() : cfg.DataStart()+cfg.DataSubcarriers]
 	w.extractCSI(slot, int(ant), pilotIdx, band)
 }
@@ -184,13 +192,27 @@ func (w *worker) runPilotFFTBatch(slot int, sym uint16, ant0, count, pilotIdx in
 		}
 		return
 	}
-	b := e.buf
 	pay := w.payloadRun[:0]
+	leases := w.leaseRun[:0]
 	for i := 0; i < count; i++ {
-		pay = append(pay, b.rxRaw[slot][sym][ant0+i])
+		p, l := e.rxPayload(slot, sym, uint16(ant0+i))
+		if p == nil {
+			// The frame was torn down mid-run; the remaining leases are
+			// (or will be) reclaimed by the manager sweep. Drop the ones
+			// we already claimed and skip the batch.
+			for _, ll := range leases {
+				e.releaseRx(ll)
+			}
+			return
+		}
+		pay = append(pay, p)
+		leases = append(leases, l)
 	}
 	buf := w.ifftBuf[:count*nfft]
 	w.plan.ForwardIQ12Batch(buf, pay, cfg.CPLen, nfft)
+	for _, l := range leases {
+		e.releaseRx(l)
+	}
 	ds := cfg.DataStart()
 	for l := 0; l < count; l++ {
 		band := buf[l*nfft+ds : l*nfft+ds+cfg.DataSubcarriers]
@@ -291,7 +313,12 @@ func (w *worker) runFFT(slot int, sym, ant uint16) {
 	e := w.eng
 	cfg := &e.cfg
 	b := e.buf
-	w.fftIntoDataBand(b.rxRaw[slot][sym][ant])
+	pay, l := e.rxPayload(slot, sym, ant)
+	if pay == nil {
+		return // lease reclaimed: the frame died before this task ran
+	}
+	w.fftIntoDataBand(pay)
+	e.releaseRx(l) // payload consumed; the transform lives in freqBuf
 	band := w.freqBuf[cfg.DataStart() : cfg.DataStart()+cfg.DataSubcarriers]
 	q := cfg.DataSubcarriers
 	m := cfg.Antennas

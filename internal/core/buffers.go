@@ -14,7 +14,10 @@ type buffers struct {
 	slots int
 
 	// rxRaw holds the fronthaul payload bytes (24-bit IQ) as copied by
-	// the network threads: [slot][symbol][antenna] -> payload.
+	// the network threads: [slot][symbol][antenna] -> payload. Allocated
+	// only on the copying ablation path (Options.DisableZeroCopyRX); the
+	// default zero-copy path reads payloads in place through the
+	// engine's lease table (DESIGN §15).
 	rxRaw [][][][]byte
 
 	// csi holds the estimated channel per ZF group: [slot][group] is an
@@ -69,7 +72,7 @@ type buffers struct {
 	dlTime [][][][]complex64
 }
 
-func newBuffers(cfg *frame.Config, slots int, soaLLR bool) *buffers {
+func newBuffers(cfg *frame.Config, slots int, soaLLR, rxCopies bool) *buffers {
 	b := &buffers{cfg: cfg, slots: slots}
 	nSym := cfg.NumSymbols()
 	m := cfg.Antennas
@@ -110,7 +113,7 @@ func newBuffers(cfg *frame.Config, slots int, soaLLR bool) *buffers {
 		b.dlTime[s] = make([][][]complex64, nSym)
 		for sym := 0; sym < nSym; sym++ {
 			st := cfg.SymbolAt(sym)
-			if st == frame.Pilot || st == frame.Uplink {
+			if rxCopies && (st == frame.Pilot || st == frame.Uplink) {
 				b.rxRaw[s][sym] = make([][]byte, m)
 				for a := 0; a < m; a++ {
 					b.rxRaw[s][sym][a] = make([]byte, payload)

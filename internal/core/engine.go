@@ -90,6 +90,28 @@ type Engine struct {
 	rxSeen [][][]atomic.Bool
 	drops  atomic.Int64
 
+	// Zero-copy RX (DESIGN §15, see ingest.go): payloads are leased in
+	// place on transport buffers instead of copied into rxRaw. rxFree
+	// pools payload-sized buffers for injected and FEC-reconstructed
+	// payloads, which have no transport buffer to lease.
+	zeroCopy   bool
+	payloadLen int
+	rxLease    [][][]rxLease // [slot][symbol][antenna]; nil rows off the RX path
+	rxFree     chan []byte
+
+	// Reed-Solomon FEC state (Options.FECParity, see ingest.go). All of
+	// it is owned by the single RX goroutine; the fec* slices are its
+	// reconstruction scratch.
+	fec     *fronthaul.FEC
+	fecRx   []fecSlot
+	fecLost []int
+	fecRows []int
+	fecDst  [][]byte
+
+	// rxSeqLast is the Seq high-water mark for loss accounting; single
+	// RX producer, plain memory.
+	rxSeqLast uint64
+
 	macPattern [][][]byte // [symbol][user] downlink truth bits
 
 	stop    chan struct{}
@@ -235,7 +257,12 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 	}
 	e.scUsed = (e.code.N() + int(cfg.Order) - 1) / int(cfg.Order)
 	e.dlGain = 0.25 // keeps 12-bit TX quantization comfortable
-	e.buf = newBuffers(&e.cfg, opts.Slots, !opts.DisableSoALLR)
+	// rxRaw backs the copying RX ablation only; the default zero-copy
+	// path replaces it with the lease table initIngest builds.
+	e.buf = newBuffers(&e.cfg, opts.Slots, !opts.DisableSoALLR, opts.DisableZeroCopyRX)
+	if err := e.initIngest(); err != nil {
+		return nil, err
+	}
 	e.slotOwner = make([]atomic.Uint32, opts.Slots)
 	e.rxSeen = make([][][]atomic.Bool, opts.Slots)
 	for s := range e.rxSeen {
@@ -589,6 +616,15 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 			Count: int64(st.Count), MeanUS: st.MeanUS, TotalMS: st.TotalMS,
 		}
 	}
+	s.Fronthaul.RxDrops = e.drops.Load()
+	if e.tr != nil {
+		if sr, ok := e.tr.(fronthaul.StatsReporter); ok {
+			st := sr.Stats()
+			s.Fronthaul.TxPkts = st.TxPkts
+			s.Fronthaul.TxDrops = st.TxDrops
+			s.Fronthaul.RxPkts = st.RxPkts
+		}
+	}
 	return s
 }
 
@@ -611,81 +647,12 @@ func (e *Engine) WriteChromeTrace(w io.Writer) error {
 }
 
 // InjectPacket feeds one fronthaul packet directly (test hook bypassing
-// the transport). The packet is parsed and copied synchronously.
+// the transport). The packet is parsed synchronously; the payload is
+// always copied — callers reuse the backing array — either into rxRaw
+// (DisableZeroCopyRX) or into a leased engine-pool buffer.
 func (e *Engine) InjectPacket(pkt []byte) error {
-	return e.acceptPacket(pkt)
-}
-
-// runNetRX is the dedicated network receive thread (§4.3 uses two DPDK
-// threads; a single goroutine saturates the in-process ring here).
-func (e *Engine) runNetRX() {
-	defer e.wg.Done()
-	if e.opts.RealTime {
-		runtime.LockOSThread()
-		defer runtime.UnlockOSThread()
-	}
-	for {
-		pkt, ok := e.tr.Recv()
-		if !ok {
-			return
-		}
-		if err := e.acceptPacket(pkt); err != nil {
-			e.drops.Add(1)
-		}
-		e.tr.Release(pkt)
-	}
-}
-
-// acceptPacket validates, claims the frame's buffer slot, copies the
-// payload into shared memory and notifies the manager.
-func (e *Engine) acceptPacket(pkt []byte) error {
-	var h fronthaul.Header
-	if err := h.Decode(pkt); err != nil {
-		return err
-	}
-	cfg := &e.cfg
-	if int(h.Symbol) >= cfg.NumSymbols() || int(h.Antenna) >= cfg.Antennas {
-		return fmt.Errorf("core: packet out of range: %v", h)
-	}
-	st := cfg.SymbolAt(int(h.Symbol))
-	if st != frame.Pilot && st != frame.Uplink {
-		return fmt.Errorf("core: unexpected RX for symbol type %c", st)
-	}
-	slot := int(h.Frame) % e.opts.Slots
-	owner := e.slotOwner[slot].Load()
-	switch owner {
-	case h.Frame + 1: // already ours
-	case 0:
-		if !e.slotOwner[slot].CompareAndSwap(0, h.Frame+1) &&
-			e.slotOwner[slot].Load() != h.Frame+1 {
-			e.notifyGhost(h.Frame)
-			return fmt.Errorf("core: slot %d contended", slot)
-		}
-	default:
-		e.notifyGhost(h.Frame)
-		return fmt.Errorf("core: slot %d busy with frame %d", slot, owner-1)
-	}
-	if !e.rxSeen[slot][h.Symbol][h.Antenna].CompareAndSwap(false, true) {
-		return fmt.Errorf("core: duplicate packet %v", h)
-	}
-	dst := e.buf.rxRaw[slot][h.Symbol][h.Antenna]
-	copy(dst, fronthaul.Payload(pkt, &h))
-	m := queue.Msg{
-		Type:    queue.TaskPacketRX,
-		Frame:   h.Frame,
-		Slot:    uint32(slot),
-		Symbol:  h.Symbol,
-		TaskIdx: h.Antenna,
-	}
-	for !e.rxQ.TryEnqueue(m) {
-		select {
-		case <-e.stop:
-			return nil
-		default:
-			runtime.Gosched()
-		}
-	}
-	return nil
+	_, err := e.acceptPacket(pkt, false)
+	return err
 }
 
 // notifyGhost tells the manager a packet for frame id was rejected at

@@ -313,6 +313,13 @@ func (e *Engine) onRX(m queue.Msg) {
 		e.tryAdmitPending()
 		return
 	}
+	// Admission guard: only messages of the slot's CURRENT owner may
+	// create frame state. A notification from a frame that was already
+	// reaped (slot released and possibly re-claimed by a newer frame)
+	// must not re-admit the dead frame or clobber the new owner's state.
+	if e.slotOwner[slot].Load() != m.Frame+1 {
+		return
+	}
 	if e.admissible() {
 		f := e.newFrameState(m.Frame, slot, time.Now())
 		e.installFrame(f)
@@ -737,6 +744,10 @@ func (e *Engine) finishFrame(f *frameState, dropped bool) {
 	}
 	e.frameBySlot[f.slot] = nil
 	e.liveFrames--
+	// Sweep unconsumed RX leases (lost frames abandon payloads mid-symbol)
+	// BEFORE the slot is released: once the owner word clears, netRX may
+	// lease new buffers into the same rows (DESIGN §15).
+	e.reclaimLeases(f.slot)
 	e.releaseSlot(f.slot)
 	// Recycle the state only after every read above; late completions for
 	// this frame are filtered by the (slot, id) check in onCompletion and
@@ -783,7 +794,9 @@ func (e *Engine) reapStale(now time.Time) {
 		// The pending frame claimed its buffer slot at acceptPacket; free
 		// it so later frames hashing to this slot are not ghosted forever
 		// (the old map-based path leaked the slot here), and report the
-		// drop like any other abandoned frame.
+		// drop like any other abandoned frame. Its buffered packets hold
+		// leases that no FFT task will ever consume — sweep them first.
+		e.reclaimLeases(s)
 		e.releaseSlot(s)
 		e.met.FramesDropped.Add(1)
 		select {

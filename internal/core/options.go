@@ -194,6 +194,26 @@ type Options struct {
 	// negative means no age limit.
 	ZFCacheMaxAge int
 
+	// DisableZeroCopyRX reverts the receive path to the copying ablation:
+	// every fronthaul payload is memcpy'd out of the transport buffer
+	// into the per-slot rxRaw arrays inside acceptPacket, exactly the
+	// pre-lease behaviour. With zero-copy on (the default, zero-value-on
+	// convention), the engine parses headers in place on the transport
+	// buffer, leases the packed 12-bit IQ payload to the FFT front end
+	// through the per-(slot, symbol, antenna) lease table, and returns
+	// the buffer to the transport at fftDone (DESIGN §15). Decoded
+	// output is bit-identical between the two paths.
+	DisableZeroCopyRX bool
+
+	// FECParity enables the fronthaul Reed-Solomon layer: the RRU sends
+	// FECParity parity packets after each pilot/uplink symbol's
+	// M-antenna data burst, and the engine reconstructs up to FECParity
+	// lost packets per symbol before the frame deadline (DESIGN §15).
+	// The engine side only decodes — encoding is the workload
+	// generator's SetFECParity — so an engine with FECParity 0 simply
+	// rejects parity packets. Antennas+FECParity must fit GF(256).
+	FECParity int
+
 	// StaleDLSymbols lets the first n downlink data symbols of a frame be
 	// precoded with the PREVIOUS frame's precoder (§3.4.2), so their
 	// samples reach the RRU before this frame's pilots have even been
@@ -248,6 +268,9 @@ func (o Options) withDefaults() Options {
 func (o Options) validate() error {
 	if o.Mode == PipelineParallel && o.Workers < 4 {
 		return fmt.Errorf("core: pipeline-parallel mode needs >= 4 workers, got %d", o.Workers)
+	}
+	if o.FECParity < 0 {
+		return fmt.Errorf("core: FECParity must be >= 0, got %d", o.FECParity)
 	}
 	return nil
 }

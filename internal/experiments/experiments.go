@@ -74,6 +74,8 @@ var All = map[string]Func{
 	"fig13":  Fig13,
 	"table4": Table4,
 	"table5": Table5,
+	// Beyond the paper's evaluation: fronthaul loss tolerance (DESIGN §15).
+	"fecloss": FECLoss,
 }
 
 // Names returns experiment ids in a stable order.

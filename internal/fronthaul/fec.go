@@ -1,0 +1,226 @@
+package fronthaul
+
+// Reed-Solomon FEC across a symbol's packet burst (DESIGN §15).
+//
+// One OFDM symbol leaves the radio as M data packets (one per antenna,
+// payload = the packed 12-bit IQ bytes). The RRU appends P parity
+// packets computed over those M payloads, carried in packets whose
+// Header.Antenna is M..M+P-1. Any M of the M+P payloads reconstruct the
+// burst, so up to P lost packets per symbol are survivable — the same
+// shard-per-burst scheme kcp-go applies per FEC group.
+//
+// The code is a systematic Reed-Solomon over GF(2^8) (polynomial
+// 0x11d). The encode matrix is the Cauchy matrix
+//
+//	coef[p][a] = 1 / (x_p ^ y_a),  x_p = M+p, y_a = a
+//
+// whose every square submatrix is invertible, so any combination of
+// ≤ P erasures is solvable from the parity rows that did arrive.
+//
+// Both ends are streaming: the sender folds each data payload into P
+// parity accumulators as it emits it (AccumulateData), and the
+// receiver folds arriving payloads into P syndrome accumulators the
+// same way (AccumulateData for data shards, AccumulateParity for
+// parity shards). Once nData+nParity ≥ M the missing payloads are
+// recovered by solving the |lost|×|lost| system against the syndromes
+// (Reconstruct) — no shard is ever buffered twice.
+
+import "errors"
+
+var (
+	// ErrFECShards rejects impossible geometry at construction.
+	ErrFECShards = errors.New("fronthaul: FEC needs 1 ≤ data, 1 ≤ parity, data+parity ≤ 256")
+	// ErrFECInsufficient reports fewer surviving parity rows than erasures.
+	ErrFECInsufficient = errors.New("fronthaul: not enough parity shards to reconstruct")
+)
+
+// GF(2^8) tables, generated once at init. gfMulTab is the full 64 KiB
+// product table so the per-byte hot loop is a single indexed load.
+var (
+	gfExp    [510]byte
+	gfLog    [256]byte
+	gfInv    [256]byte
+	gfMulTab [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 510; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		gfInv[a] = gfExp[255-int(gfLog[a])]
+		row := &gfMulTab[a]
+		la := int(gfLog[a])
+		for b := 1; b < 256; b++ {
+			row[b] = gfExp[la+int(gfLog[b])]
+		}
+	}
+}
+
+func gfMul(a, b byte) byte { return gfMulTab[a][b] }
+
+// mulSliceXor folds dst[i] ^= c·src[i] over the shorter of the two
+// slices. c == 0 is a no-op; c == 1 degenerates to XOR.
+func mulSliceXor(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if len(src) > len(dst) {
+		src = src[:len(dst)]
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	row := &gfMulTab[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// FEC encodes/decodes one symbol burst: m data shards, p parity shards.
+// A FEC value is stateless and safe for concurrent use; the caller owns
+// the accumulator slices (one set per in-flight symbol).
+type FEC struct {
+	m, p int
+	coef [][]byte // [p][m] Cauchy encode matrix
+}
+
+// NewFEC builds the Cauchy encode matrix for m data and p parity
+// shards. m+p must fit in GF(256).
+func NewFEC(m, p int) (*FEC, error) {
+	if m < 1 || p < 1 || m+p > 256 {
+		return nil, ErrFECShards
+	}
+	f := &FEC{m: m, p: p, coef: make([][]byte, p)}
+	for i := 0; i < p; i++ {
+		f.coef[i] = make([]byte, m)
+		for j := 0; j < m; j++ {
+			f.coef[i][j] = gfInv[byte(m+i)^byte(j)]
+		}
+	}
+	return f, nil
+}
+
+// DataShards returns m.
+func (f *FEC) DataShards() int { return f.m }
+
+// ParityShards returns p.
+func (f *FEC) ParityShards() int { return f.p }
+
+// AccumulateData folds data shard `shard` into every accumulator row:
+// acc[i] ^= coef[i][shard]·payload. The sender uses this to build
+// parity; the receiver uses it to build syndromes.
+func (f *FEC) AccumulateData(acc [][]byte, shard int, payload []byte) {
+	for i := 0; i < f.p; i++ {
+		mulSliceXor(acc[i], payload, f.coef[i][shard])
+	}
+}
+
+// AccumulateParity folds a received parity shard into its syndrome row:
+// acc[parity] ^= payload. After all received shards are folded,
+// acc[i] = parity_i ^ Σ_{received j} coef[i][j]·d_j, i.e. exactly
+// Σ_{lost j} coef[i][j]·d_j for rows whose parity arrived.
+func (f *FEC) AccumulateParity(acc [][]byte, parity int, payload []byte) {
+	mulSliceXor(acc[parity], payload, 1)
+}
+
+// Reconstruct solves for the lost data shards. lost lists the missing
+// data-shard indices, rows the parity rows whose packets arrived (both
+// ascending), acc the syndrome accumulators (only rows in `rows` are
+// read; acc is not modified). The recovered payload for lost[c] is
+// written into dst[c], which must be payload-sized. Requires
+// len(rows) ≥ len(lost).
+func (f *FEC) Reconstruct(dst [][]byte, lost, rows []int, acc [][]byte) error {
+	n := len(lost)
+	if n == 0 {
+		return nil
+	}
+	if len(rows) < n {
+		return ErrFECInsufficient
+	}
+	rows = rows[:n]
+	// Invert A[r][c] = coef[rows[r]][lost[c]] by Gauss-Jordan on the
+	// augmented [A | I]. n ≤ p is tiny, so the O(n³) byte work is noise
+	// next to the O(n²·len) payload accumulation below.
+	a := make([]byte, n*n)
+	inv := make([]byte, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			a[r*n+c] = f.coef[rows[r]][lost[c]]
+		}
+		inv[r*n+r] = 1
+	}
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if a[r*n+col] != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return ErrFECInsufficient // unreachable for Cauchy submatrices
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				a[piv*n+c], a[col*n+c] = a[col*n+c], a[piv*n+c]
+				inv[piv*n+c], inv[col*n+c] = inv[col*n+c], inv[piv*n+c]
+			}
+		}
+		d := gfInv[a[col*n+col]]
+		for c := 0; c < n; c++ {
+			a[col*n+c] = gfMul(a[col*n+c], d)
+			inv[col*n+c] = gfMul(inv[col*n+c], d)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r*n+col] == 0 {
+				continue
+			}
+			m := a[r*n+col]
+			for c := 0; c < n; c++ {
+				a[r*n+c] ^= gfMul(m, a[col*n+c])
+				inv[r*n+c] ^= gfMul(m, inv[col*n+c])
+			}
+		}
+	}
+	// x_c = Σ_r inv[c][r]·b_r with b_r = acc[rows[r]]. Writing into the
+	// caller's dst keeps each recovered payload in the buffer that owns
+	// that antenna slot — no post-hoc row permutation.
+	for c := 0; c < n; c++ {
+		d := dst[c]
+		for i := range d {
+			d[i] = 0
+		}
+		for r := 0; r < n; r++ {
+			mulSliceXor(d, acc[rows[r]], inv[c*n+r])
+		}
+	}
+	return nil
+}
+
+// EncodeInto computes all parity shards for a complete burst in one
+// call: parity[i] = Σ_j coef[i][j]·data[j]. Convenience for tests and
+// non-streaming senders; the hot path uses AccumulateData per packet.
+func (f *FEC) EncodeInto(parity, data [][]byte) {
+	for i := 0; i < f.p; i++ {
+		p := parity[i]
+		for k := range p {
+			p[k] = 0
+		}
+	}
+	for j := 0; j < f.m && j < len(data); j++ {
+		f.AccumulateData(parity, j, data[j])
+	}
+}

@@ -1,0 +1,77 @@
+package fronthaul
+
+// Deterministic fronthaul loss injection for robustness tests and the
+// loss-sweep experiment: drop every Nth packet, a seeded random rate,
+// or both. Wrapping a send function keeps the injector out of the
+// transport hot path entirely when inactive.
+
+import "math/rand"
+
+// LossInjector drops packets from a send path. Not safe for concurrent
+// use — wrap exactly one emitter, which is how the RRU drives a link.
+type LossInjector struct {
+	every   int64
+	rate    float64
+	rng     *rand.Rand
+	sent    int64
+	dropped int64
+}
+
+// NewLossInjector builds an injector that drops every `every`-th packet
+// (0 disables), plus an independent random fraction `rate` drawn from a
+// generator seeded with seed (0 rate disables).
+func NewLossInjector(every int, rate float64, seed int64) *LossInjector {
+	l := &LossInjector{every: int64(every), rate: rate}
+	if rate > 0 {
+		l.rng = rand.New(rand.NewSource(seed))
+	}
+	return l
+}
+
+// Active reports whether the injector would ever drop a packet.
+func (l *LossInjector) Active() bool {
+	return l != nil && (l.every > 0 || l.rate > 0)
+}
+
+// Wrap returns a send function that drops injected losses (returning
+// nil, as a lossy link would) and forwards the rest. When the injector
+// is inactive the original function is returned untouched.
+func (l *LossInjector) Wrap(send func([]byte) error) func([]byte) error {
+	if !l.Active() {
+		return send
+	}
+	return func(pkt []byte) error {
+		l.sent++
+		if l.drop() {
+			l.dropped++
+			return nil
+		}
+		return send(pkt)
+	}
+}
+
+func (l *LossInjector) drop() bool {
+	if l.every > 0 && l.sent%l.every == 0 {
+		return true
+	}
+	if l.rate > 0 && l.rng.Float64() < l.rate {
+		return true
+	}
+	return false
+}
+
+// Sent counts packets offered to the wrapped sender (dropped or not).
+func (l *LossInjector) Sent() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.sent
+}
+
+// Dropped counts packets the injector discarded.
+func (l *LossInjector) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}

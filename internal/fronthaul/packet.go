@@ -112,6 +112,22 @@ func BuildPacket(dst []byte, iq []int16, h Header, samples []complex64) []byte {
 	return dst
 }
 
+// BuildPacketRaw assembles a packet whose payload bytes are already in
+// wire form (FEC parity shards, pre-packed IQ). dst must have capacity
+// for HeaderSize+len(payload); h.Samples is derived from the payload
+// length. Returns the packet slice.
+func BuildPacketRaw(dst []byte, h Header, payload []byte) []byte {
+	h.Samples = uint32(len(payload) / cf.BytesPerIQ)
+	n := HeaderSize + len(payload)
+	if cap(dst) < n {
+		panic(fmt.Sprintf("fronthaul: BuildPacketRaw dst cap %d < %d", cap(dst), n))
+	}
+	dst = dst[:n]
+	h.Encode(dst)
+	copy(dst[HeaderSize:], payload)
+	return dst
+}
+
 // String implements fmt.Stringer.
 func (h Header) String() string {
 	return fmt.Sprintf("frame=%d sym=%d ant=%d n=%d dir=%d seq=%d",

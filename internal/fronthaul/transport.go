@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,6 +22,29 @@ type Transport interface {
 	Release(pkt []byte)
 	// Close shuts the transport down; pending Recv calls unblock.
 	Close() error
+}
+
+// BatchRecver is an optional Transport extension: RecvBatch blocks for
+// the first packet, then opportunistically fills pkts with whatever is
+// already queued, so the receive goroutine wakes once per burst instead
+// of once per packet. Every returned buffer follows the same Release
+// contract as Recv.
+type BatchRecver interface {
+	RecvBatch(pkts [][]byte) (n int, ok bool)
+}
+
+// Stats counts a transport endpoint's packet-level events. TxDrops is
+// the count of packets Send discarded because the queue was full — the
+// loss that used to be invisible.
+type Stats struct {
+	TxPkts  int64
+	TxDrops int64
+	RxPkts  int64
+}
+
+// StatsReporter is an optional Transport extension exposing Stats.
+type StatsReporter interface {
+	Stats() Stats
 }
 
 // ErrClosed is returned by Send on a closed transport.
@@ -86,6 +110,9 @@ type Endpoint struct {
 	r        *Ring
 	tx, rx   chan []byte
 	sendSeal *sync.Once
+	txPkts   atomic.Int64
+	txDrops  atomic.Int64
+	rxPkts   atomic.Int64
 }
 
 // Side returns the RRU-facing (side=0) or Agora-facing (side=1) endpoint.
@@ -98,7 +125,8 @@ func (r *Ring) Side(side int) *Endpoint {
 
 // Send copies pkt into a pooled buffer and enqueues it. It drops the
 // packet (returning nil) if the ring is full, mirroring NIC-queue
-// overflow semantics rather than blocking the radio.
+// overflow semantics rather than blocking the radio; the drop is
+// counted in Stats so the loss stays observable.
 func (e *Endpoint) Send(pkt []byte) error {
 	select {
 	case <-e.r.done:
@@ -109,11 +137,13 @@ func (e *Endpoint) Send(pkt []byte) error {
 	copy(buf, pkt)
 	select {
 	case e.tx <- buf:
+		e.txPkts.Add(1)
 		return nil
 	case <-e.r.done:
 		return ErrClosed
 	default:
 		e.r.putBuf(buf)
+		e.txDrops.Add(1)
 		return nil // dropped, like a full NIC queue
 	}
 }
@@ -122,11 +152,13 @@ func (e *Endpoint) Send(pkt []byte) error {
 func (e *Endpoint) Recv() ([]byte, bool) {
 	select {
 	case pkt := <-e.rx:
+		e.rxPkts.Add(1)
 		return pkt, true
 	case <-e.r.done:
 		// Drain anything already queued before reporting closure.
 		select {
 		case pkt := <-e.rx:
+			e.rxPkts.Add(1)
 			return pkt, true
 		default:
 			return nil, false
@@ -134,8 +166,43 @@ func (e *Endpoint) Recv() ([]byte, bool) {
 	}
 }
 
+// RecvBatch implements BatchRecver: block for one packet, then drain
+// whatever the sender already queued without further channel parks.
+func (e *Endpoint) RecvBatch(pkts [][]byte) (int, bool) {
+	if len(pkts) == 0 {
+		return 0, true
+	}
+	pkt, ok := e.Recv()
+	if !ok {
+		return 0, false
+	}
+	pkts[0] = pkt
+	n := 1
+	for n < len(pkts) {
+		select {
+		case p := <-e.rx:
+			pkts[n] = p
+			n++
+		default:
+			e.rxPkts.Add(int64(n - 1))
+			return n, true
+		}
+	}
+	e.rxPkts.Add(int64(n - 1))
+	return n, true
+}
+
 // Release implements Transport.
 func (e *Endpoint) Release(pkt []byte) { e.r.putBuf(pkt) }
+
+// Stats implements StatsReporter.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		TxPkts:  e.txPkts.Load(),
+		TxDrops: e.txDrops.Load(),
+		RxPkts:  e.rxPkts.Load(),
+	}
+}
 
 // Close implements Transport; closing either endpoint closes the ring.
 func (e *Endpoint) Close() error {
@@ -149,19 +216,45 @@ func (e *Endpoint) Close() error {
 	return nil
 }
 
-var _ Transport = (*Endpoint)(nil)
+var (
+	_ Transport     = (*Endpoint)(nil)
+	_ BatchRecver   = (*Endpoint)(nil)
+	_ StatsReporter = (*Endpoint)(nil)
+)
 
 // UDP is the cross-process transport used by cmd/rru and cmd/agora. The
 // paper uses one UDP packet per antenna per symbol over a 40 GbE link
 // with DPDK; here the standard net package carries the same format.
+//
+// Receive buffers recycle through a buffered-channel free-list (the
+// same boxing-allocation fix the Ring got): a sync.Pool round-trips
+// each []byte through an interface{}, allocating a slice header per
+// packet. On Linux, RecvBatch drains queued datagrams with a single
+// recvmmsg syscall after the first blocking read (see udp_batch_linux).
 type UDP struct {
 	conn   *net.UDPConn
 	peer   *net.UDPAddr
 	mtu    int
-	pool   sync.Pool
+	free   chan []byte
 	closed chan struct{}
 	mu     sync.Mutex
+
+	// deadline is the currently armed read deadline. Re-arming costs a
+	// setsockopt-ish runtime call per packet; the receive loop only
+	// re-arms when the armed deadline has less than half its window
+	// left, so back-to-back bursts read with no deadline traffic at all.
+	deadline time.Time
+
+	txPkts atomic.Int64
+	rxPkts atomic.Int64
+
+	batch udpBatchState // recvmmsg scratch; empty struct off Linux
 }
+
+// udpFreeDepth bounds the receive free-list. Deep enough to cover every
+// buffer a full engine keeps leased at once on the small config; beyond
+// that, buffers fall back to the allocator.
+const udpFreeDepth = 1024
 
 // NewUDP binds a local address and targets peer (which may be nil for a
 // pure receiver; the peer is then learned from the first packet).
@@ -174,8 +267,12 @@ func NewUDP(local string, peer string, mtu int) (*UDP, error) {
 	if err != nil {
 		return nil, err
 	}
-	u := &UDP{conn: conn, mtu: mtu, closed: make(chan struct{})}
-	u.pool.New = func() any { return make([]byte, mtu) }
+	u := &UDP{
+		conn:   conn,
+		mtu:    mtu,
+		free:   make(chan []byte, udpFreeDepth),
+		closed: make(chan struct{}),
+	}
 	if peer != "" {
 		u.peer, err = net.ResolveUDPAddr("udp", peer)
 		if err != nil {
@@ -189,6 +286,36 @@ func NewUDP(local string, peer string, mtu int) (*UDP, error) {
 	return u, nil
 }
 
+func (u *UDP) getBuf() []byte {
+	select {
+	case b := <-u.free:
+		return b
+	default:
+		return make([]byte, u.mtu)
+	}
+}
+
+func (u *UDP) putBuf(b []byte) {
+	if cap(b) < u.mtu {
+		return
+	}
+	select {
+	case u.free <- b[:u.mtu]:
+	default:
+	}
+}
+
+// armDeadline refreshes the read deadline only when the armed one is
+// about to lapse, keeping the syscall off the per-packet path.
+func (u *UDP) armDeadline() {
+	now := time.Now()
+	if u.deadline.Sub(now) > 100*time.Millisecond {
+		return
+	}
+	u.deadline = now.Add(200 * time.Millisecond)
+	_ = u.conn.SetReadDeadline(u.deadline)
+}
+
 // Send implements Transport.
 func (u *UDP) Send(pkt []byte) error {
 	u.mu.Lock()
@@ -198,19 +325,22 @@ func (u *UDP) Send(pkt []byte) error {
 		return errors.New("fronthaul: UDP peer unknown")
 	}
 	_, err := u.conn.WriteToUDP(pkt, peer)
+	if err == nil {
+		u.txPkts.Add(1)
+	}
 	return err
 }
 
 // Recv implements Transport.
 func (u *UDP) Recv() ([]byte, bool) {
-	buf := u.pool.Get().([]byte)[:u.mtu]
+	buf := u.getBuf()[:u.mtu]
 	for {
-		_ = u.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		u.armDeadline()
 		n, addr, err := u.conn.ReadFromUDP(buf)
 		if err != nil {
 			select {
 			case <-u.closed:
-				u.pool.Put(buf)
+				u.putBuf(buf)
 				return nil, false
 			default:
 			}
@@ -218,7 +348,7 @@ func (u *UDP) Recv() ([]byte, bool) {
 			if errors.As(err, &ne) && ne.Timeout() {
 				continue
 			}
-			u.pool.Put(buf)
+			u.putBuf(buf)
 			return nil, false
 		}
 		u.mu.Lock()
@@ -226,12 +356,38 @@ func (u *UDP) Recv() ([]byte, bool) {
 			u.peer = addr
 		}
 		u.mu.Unlock()
+		u.rxPkts.Add(1)
 		return buf[:n], true
 	}
 }
 
+// RecvBatch implements BatchRecver: one blocking read for the first
+// datagram (which also learns the peer and honors close/deadlines),
+// then a non-blocking recvmmsg drain of everything the socket already
+// holds — one syscall per burst instead of one per packet.
+func (u *UDP) RecvBatch(pkts [][]byte) (int, bool) {
+	if len(pkts) == 0 {
+		return 0, true
+	}
+	pkt, ok := u.Recv()
+	if !ok {
+		return 0, false
+	}
+	pkts[0] = pkt
+	n := 1 + u.drainBatch(pkts[1:])
+	u.rxPkts.Add(int64(n - 1))
+	return n, true
+}
+
 // Release implements Transport.
-func (u *UDP) Release(pkt []byte) { u.pool.Put(pkt[:cap(pkt)]) }
+func (u *UDP) Release(pkt []byte) { u.putBuf(pkt[:cap(pkt)]) }
+
+// Stats implements StatsReporter. UDP sends never drop locally (the
+// kernel socket absorbs or discards); loss shows up as Seq gaps on the
+// receive side instead.
+func (u *UDP) Stats() Stats {
+	return Stats{TxPkts: u.txPkts.Load(), RxPkts: u.rxPkts.Load()}
+}
 
 // Close implements Transport.
 func (u *UDP) Close() error {
@@ -247,4 +403,8 @@ func (u *UDP) Close() error {
 // LocalAddr returns the bound address, useful with port 0.
 func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
 
-var _ Transport = (*UDP)(nil)
+var (
+	_ Transport     = (*UDP)(nil)
+	_ BatchRecver   = (*UDP)(nil)
+	_ StatsReporter = (*UDP)(nil)
+)

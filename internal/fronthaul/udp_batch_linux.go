@@ -1,0 +1,86 @@
+//go:build linux && (amd64 || arm64)
+
+package fronthaul
+
+// recvmmsg-backed batch drain for the UDP transport. golang.org/x/net's
+// ReadBatch wraps the same syscall; raw syscall keeps the module
+// dependency-free. 64-bit Linux only — syscall.Msghdr field widths and
+// the 4-byte tail pad in struct mmsghdr differ on 32-bit ABIs — other
+// platforms fall back to single-packet reads (udp_batch_other.go).
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the per-message byte
+// count the kernel fills in, padded to 8-byte alignment on LP64.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// udpBatchState holds the per-UDP recvmmsg scratch: the header/iovec
+// arrays and the buffers currently posted to the kernel. Only the
+// receive goroutine touches it.
+type udpBatchState struct {
+	mh   []mmsghdr
+	iov  []syscall.Iovec
+	bufs [][]byte
+	raw  syscall.RawConn
+}
+
+// drainBatch reads every datagram already queued on the socket into
+// pkts with one non-blocking recvmmsg, returning how many it filled.
+// It never blocks: EAGAIN (nothing queued) returns 0. Source addresses
+// are not captured — the peer is learned by the blocking Recv that
+// precedes every drain.
+func (u *UDP) drainBatch(pkts [][]byte) int {
+	if len(pkts) == 0 {
+		return 0
+	}
+	st := &u.batch
+	if st.raw == nil {
+		raw, err := u.conn.SyscallConn()
+		if err != nil {
+			return 0
+		}
+		st.raw = raw
+	}
+	if len(st.mh) < len(pkts) {
+		st.mh = make([]mmsghdr, len(pkts))
+		st.iov = make([]syscall.Iovec, len(pkts))
+		st.bufs = append(st.bufs, make([][]byte, len(pkts)-len(st.bufs))...)
+	}
+	cnt := len(pkts)
+	for i := 0; i < cnt; i++ {
+		if st.bufs[i] == nil {
+			st.bufs[i] = u.getBuf()[:u.mtu]
+		}
+		st.iov[i] = syscall.Iovec{Base: &st.bufs[i][0]}
+		st.iov[i].SetLen(u.mtu)
+		st.mh[i] = mmsghdr{hdr: syscall.Msghdr{Iov: &st.iov[i]}}
+		st.mh[i].hdr.Iovlen = 1
+	}
+	got := 0
+	err := st.raw.Read(func(fd uintptr) bool {
+		r1, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG,
+			fd, uintptr(unsafe.Pointer(&st.mh[0])), uintptr(cnt),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		if errno != 0 {
+			got = 0
+		} else {
+			got = int(r1)
+		}
+		return true // never park: an empty queue just ends the drain
+	})
+	if err != nil || got <= 0 {
+		return 0
+	}
+	for i := 0; i < got; i++ {
+		pkts[i] = st.bufs[i][:st.mh[i].len]
+		st.bufs[i] = nil // ownership moved to the caller
+	}
+	return got
+}

@@ -1,0 +1,10 @@
+//go:build !linux || !(amd64 || arm64)
+
+package fronthaul
+
+// Fallback for platforms without the recvmmsg fast path: RecvBatch
+// degrades to the single blocking read its first packet already did.
+
+type udpBatchState struct{}
+
+func (u *UDP) drainBatch(pkts [][]byte) int { return 0 }

@@ -28,7 +28,10 @@ type RunSummary struct {
 	BitErrs     int
 	Bits        int
 	Drops       int64
-	TaskStats   map[queue.TaskType]core.TaskStat
+	// Dropped counts frames the engine abandoned (timeout/rejection);
+	// they are excluded from the latency and block statistics above.
+	Dropped   int
+	TaskStats map[queue.TaskType]core.TaskStat
 	// DeadlineMisses counts frames that finished past the on-air frame
 	// budget (the engine's live deadline counter).
 	DeadlineMisses int64
@@ -36,6 +39,16 @@ type RunSummary struct {
 	// completion (DESIGN §14). Both zero when the cache is disabled.
 	ZFCacheHits   int64
 	ZFCacheMisses int64
+	// Fronthaul loss accounting (DESIGN §15). LossInjected is how many
+	// packets the Link's injector discarded on the wire; TxDrops how many
+	// the RRU-side transport dropped (full ring); SeqGaps/SeqLate the
+	// engine's sequence-number view of the loss; FECRecovered how many of
+	// the lost packets Reed-Solomon parity rebuilt before the deadline.
+	LossInjected int64
+	TxDrops      int64
+	SeqGaps      int64
+	SeqLate      int64
+	FECRecovered int64
 	// Timeline is the reconstructed multi-frame schedule from the event
 	// tracer: per-frame stage spans, worker utilization, idle gaps. Nil
 	// when Options.DisableTracing is set.
@@ -50,6 +63,23 @@ func (r *RunSummary) BLER() float64 {
 	return float64(r.BlocksTotal-r.BlocksOK) / float64(r.BlocksTotal)
 }
 
+// Link models the fronthaul between RRU and engine for RunUplinkLink:
+// an optional Reed-Solomon parity budget and a deterministic loss
+// injector. The zero value is a lossless link with FEC off — exactly
+// RunUplink's behaviour.
+type Link struct {
+	// FECParity adds this many Reed-Solomon parity packets per symbol
+	// burst on the RRU side and the matching reconstruction budget on the
+	// engine side (core.Options.FECParity).
+	FECParity int
+	// DropEvery discards every Nth packet when > 0; DropRate additionally
+	// discards packets at the given seeded-random rate (see
+	// fronthaul.NewLossInjector). LossSeed seeds the random component.
+	DropEvery int
+	DropRate  float64
+	LossSeed  int64
+}
+
 // RunUplink drives nFrames uplink frames from a fresh software RRU
 // through a fresh engine. With realtimePacing the RRU emits at the frame
 // rate; otherwise frames go back-to-back, one in flight at a time (pure
@@ -57,6 +87,14 @@ func (r *RunSummary) BLER() float64 {
 // are scored against the generator's ground truth.
 func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 	snrDB float64, nFrames int, realtimePacing bool, seed int64) (*RunSummary, error) {
+	return RunUplinkLink(cfg, opts, model, snrDB, nFrames, realtimePacing, seed, Link{})
+}
+
+// RunUplinkLink is RunUplink over a configurable fronthaul link: packet
+// loss injected between RRU and engine, optionally covered by the
+// Reed-Solomon parity budget (DESIGN §15).
+func RunUplinkLink(cfg frame.Config, opts core.Options, model channel.Model,
+	snrDB float64, nFrames int, realtimePacing bool, seed int64, link Link) (*RunSummary, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,6 +102,12 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 	gen, err := workload.NewGenerator(cfg, model, snrDB, seed)
 	if err != nil {
 		return nil, err
+	}
+	if link.FECParity > 0 {
+		if err := gen.SetFECParity(link.FECParity); err != nil {
+			return nil, err
+		}
+		opts.FECParity = link.FECParity
 	}
 	checkBits := opts.KeepBits
 	eng, err := core.NewEngine(cfg, opts, ring.Side(1))
@@ -73,7 +117,8 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 	eng.Start()
 	defer eng.Stop()
 	rru := ring.Side(0)
-	send := rru.Send // bound once: a per-frame method value would allocate
+	loss := fronthaul.NewLossInjector(link.DropEvery, link.DropRate, link.LossSeed)
+	send := loss.Wrap(rru.Send) // bound once: a per-frame method value would allocate
 	sum := &RunSummary{
 		Latency:    stats.NewReservoir(nFrames),
 		QueueDelay: stats.NewReservoir(nFrames),
@@ -107,6 +152,7 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 	collect := func(r core.FrameResult) {
 		sum.Frames++
 		if r.Dropped {
+			sum.Dropped++
 			return
 		}
 		sum.Latency.Add(r.Latency)
@@ -172,6 +218,11 @@ func RunUplink(cfg frame.Config, opts core.Options, model channel.Model,
 	sum.DeadlineMisses = eng.Metrics().DeadlineMiss.Load()
 	sum.ZFCacheHits = eng.Metrics().ZFCacheHits.Load()
 	sum.ZFCacheMisses = eng.Metrics().ZFCacheMisses.Load()
+	sum.LossInjected = loss.Dropped()
+	sum.TxDrops = rru.Stats().TxDrops
+	sum.SeqGaps = eng.Metrics().SeqGaps.Load()
+	sum.SeqLate = eng.Metrics().SeqLate.Load()
+	sum.FECRecovered = eng.Metrics().FECRecovered.Load()
 	if eng.TracingEnabled() {
 		sum.Timeline = eng.Timeline()
 	}

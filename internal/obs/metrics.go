@@ -47,6 +47,15 @@ type Metrics struct {
 	FreeStates    atomic.Int64
 	ZFCacheHits   atomic.Int64
 	ZFCacheMisses atomic.Int64
+
+	// Fronthaul loss accounting (DESIGN §15). SeqGaps totals the missing
+	// sequence numbers observed on the RX path (Σ max(0, seq−last−1));
+	// SeqLate counts packets that arrived with a sequence number at or
+	// below the high-water mark (reordered or duplicated); FECRecovered
+	// counts payloads rebuilt from Reed-Solomon parity.
+	SeqGaps      atomic.Int64
+	SeqLate      atomic.Int64
+	FECRecovered atomic.Int64
 }
 
 // ObserveFrame records one completed frame against the budget.
@@ -102,6 +111,21 @@ type ArenaSnap struct {
 	ZFCacheHitRate float64 `json:"zf_cache_hit_rate"`
 }
 
+// FronthaulSnap reports packet-level loss accounting: sequence gaps and
+// late/duplicate arrivals seen by the engine's RX path, FEC recoveries,
+// engine-side rejected packets (RxDrops), and the transport's own
+// send-queue overflow drops (TxDrops, filled from the transport's
+// StatsReporter when it has one).
+type FronthaulSnap struct {
+	SeqGaps      int64 `json:"seq_gaps"`
+	SeqLate      int64 `json:"seq_late"`
+	FECRecovered int64 `json:"fec_recovered"`
+	RxDrops      int64 `json:"rx_drops"`
+	TxPkts       int64 `json:"tx_pkts"`
+	TxDrops      int64 `json:"tx_drops"`
+	RxPkts       int64 `json:"rx_pkts"`
+}
+
 // GCSnap carries the process-wide garbage-collector totals (from
 // runtime.ReadMemStats) so a dashboard can confirm the zero-allocation
 // frame loop keeps GC quiet mid-run.
@@ -120,6 +144,7 @@ type Snapshot struct {
 	Queues        map[string]QueueGauge `json:"queues"`
 	Tasks         map[string]TaskSnap   `json:"tasks"`
 	Arena         ArenaSnap             `json:"arena"`
+	Fronthaul     FronthaulSnap         `json:"fronthaul"`
 	GC            GCSnap                `json:"gc"`
 }
 
@@ -168,6 +193,11 @@ func (m *Metrics) Snap() Snapshot {
 	}
 	if hits+misses > 0 {
 		s.Arena.ZFCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	s.Fronthaul = FronthaulSnap{
+		SeqGaps:      m.SeqGaps.Load(),
+		SeqLate:      m.SeqLate.Load(),
+		FECRecovered: m.FECRecovered.Load(),
 	}
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)

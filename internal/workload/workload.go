@@ -68,6 +68,17 @@ type Generator struct {
 	// at the start of every EmitFrame (see SetDoppler). Zero keeps the
 	// default block-fading behaviour: H static across frames.
 	doppler float64
+
+	// txSeq is the monotone fronthaul sequence number stamped into every
+	// emitted packet (starting at 1; 0 marks legacy unstamped packets), the
+	// ground truth for the engine's Seq-gap loss accounting (DESIGN §15).
+	txSeq uint64
+
+	// fec, when non-nil, appends ParityShards Reed-Solomon parity packets
+	// after each symbol's M-antenna data burst (see SetFECParity); fecAcc
+	// holds the streaming parity accumulators, zeroed between symbols.
+	fec    *fronthaul.FEC
+	fecAcc [][]byte
 }
 
 // NewGenerator builds a generator. cfg must already be validated.
@@ -240,6 +251,32 @@ func (g *Generator) PilotFreq(u, p int) []complex64 {
 	}
 }
 
+// SetFECParity enables fronthaul Reed-Solomon FEC: after each pilot or
+// uplink symbol's M-antenna burst the generator emits p parity packets
+// carrying antenna indices M..M+p-1, from which the engine can
+// reconstruct up to p lost data packets of that symbol (DESIGN §15).
+// Parity is accumulated streaming — each data payload is folded into the
+// accumulators as it is emitted — so the emit path stays allocation-free.
+// p = 0 disables the layer. The engine must run with a matching
+// Options.FECParity or it will reject the parity packets.
+func (g *Generator) SetFECParity(p int) error {
+	if p == 0 {
+		g.fec, g.fecAcc = nil, nil
+		return nil
+	}
+	f, err := fronthaul.NewFEC(g.Cfg.Antennas, p)
+	if err != nil {
+		return err
+	}
+	g.fec = f
+	payload := g.Cfg.SamplesPerSymbol() * cf.BytesPerIQ
+	g.fecAcc = make([][]byte, p)
+	for i := range g.fecAcc {
+		g.fecAcc[i] = make([]byte, payload)
+	}
+	return nil
+}
+
 // SetDoppler switches the generator to a time-varying channel: each
 // EmitFrame call first ages H by one Gauss-Markov step with correlation
 // rho in (0,1), modeling user mobility (higher rho = slower fading).
@@ -375,15 +412,41 @@ func (g *Generator) mixAndEmit(frameID uint32, sym int, emit func([]byte) error)
 		cf.Scale(g.antCP, g.gains[a])
 		sigPower := cf.Energy(g.antCP) / float64(len(g.antCP))
 		channel.AWGN(g.antCP, noiseVar*sigPower, g.rng)
+		g.txSeq++
 		h := fronthaul.Header{
 			Frame:   frameID,
 			Symbol:  uint16(sym),
 			Antenna: uint16(a),
 			Dir:     fronthaul.DirUplink,
+			Seq:     g.txSeq,
 		}
 		pkt := fronthaul.BuildPacket(g.pkt, g.iq, h, g.antCP)
+		if g.fec != nil {
+			g.fec.AccumulateData(g.fecAcc, a, pkt[fronthaul.HeaderSize:])
+		}
 		if err := emit(pkt); err != nil {
 			return err
+		}
+	}
+	if g.fec != nil {
+		// Parity shards ride as extra "antennas" M..M+p-1 of the same
+		// symbol; transports copy on Send, so g.pkt is safe to reuse.
+		for p := 0; p < g.fec.ParityShards(); p++ {
+			g.txSeq++
+			h := fronthaul.Header{
+				Frame:   frameID,
+				Symbol:  uint16(sym),
+				Antenna: uint16(cfg.Antennas + p),
+				Dir:     fronthaul.DirUplink,
+				Seq:     g.txSeq,
+			}
+			pkt := fronthaul.BuildPacketRaw(g.pkt[:cap(g.pkt)], h, g.fecAcc[p])
+			if err := emit(pkt); err != nil {
+				return err
+			}
+		}
+		for _, acc := range g.fecAcc {
+			clear(acc)
 		}
 	}
 	return nil
