@@ -7,8 +7,13 @@ GO ?= go
 
 check: vet build test race fuzz perf
 
+# Static checks: go vet plus the staticcheck-style hygiene the toolchain
+# ships — gofmt drift (gofmt -l must print nothing). No external tools:
+# the container has only the Go toolchain.
 vet:
 	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -19,7 +24,9 @@ test:
 # Short-mode race pass over every internal package. The MPMC queues, the
 # manager-worker engine and the obs tracer/metrics are where a data race
 # would hide; TestMetricsSnapshotLive exercises the mid-run TaskStats /
-# MetricsSnapshot readers against running workers under the detector.
+# MetricsSnapshot readers against running workers under the detector, and
+# internal/fleet's lifecycle tests (drain under in-flight frames, degrade
+# and recover) put the router/forwarder/engine interplay under it too.
 race:
 	$(GO) test -race -short ./internal/...
 
@@ -33,7 +40,7 @@ fuzz:
 
 # Key benchmarks (the ones BENCH_BASELINE.json regression checks target).
 bench:
-	$(GO) test -run '^$$' -bench 'Table1|Fig9|Table4|Decode_' -benchmem -count 5 .
+	$(GO) test -run '^$$' -bench 'Table1|Fig9|Table4|Decode_|Fleet_' -benchmem -count 5 .
 
 # Re-snapshot the benchmark suite into BENCH_BASELINE.json. Only commit
 # the result when intentionally moving the baseline (e.g. after a perf PR).

@@ -29,6 +29,7 @@ package agora
 import (
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/frame"
 	"repro/internal/fronthaul"
 	"repro/internal/harness"
@@ -94,6 +95,22 @@ type (
 	Metrics = obs.Metrics
 	// MetricsSnapshot is the JSON-friendly view expvar publishes.
 	MetricsSnapshot = obs.Snapshot
+	// Fleet runs N cell engines behind a cell router with coordinated
+	// lifecycle and merged observability (DESIGN §16).
+	Fleet = fleet.Fleet
+	// FleetConfig sizes a fleet: cell count, per-cell frame geometry,
+	// shared or per-cell worker budget, degradation policy.
+	FleetConfig = fleet.Config
+	// CellResult is one cell's FrameResult tagged with the cell id.
+	CellResult = fleet.CellResult
+	// CellState is a cell's lifecycle state (active, degraded, draining,
+	// stopped).
+	CellState = fleet.CellState
+	// FleetSnapshot is the aggregated multi-cell metrics view a fleet
+	// publishes on one expvar endpoint.
+	FleetSnapshot = obs.FleetSnapshot
+	// FleetSummary aggregates a multi-cell harness run (RunFleetUplink).
+	FleetSummary = harness.FleetSummary
 )
 
 // Scheduling modes.
@@ -206,4 +223,17 @@ func RunUplink(cfg Config, opts Options, model ChannelModel, snrDB float64,
 func RunUplinkLink(cfg Config, opts Options, model ChannelModel, snrDB float64,
 	nFrames int, realtimePacing bool, seed int64, link Link) (*RunSummary, error) {
 	return harness.RunUplinkLink(cfg, opts, model, snrDB, nFrames, realtimePacing, seed, link)
+}
+
+// NewFleet builds (without starting) a multi-cell deployment: cfg.Cells
+// engines, each behind its own fronthaul ring, demuxed by the packet
+// header's Cell byte (DESIGN §16).
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// RunFleetUplink drives nFrames uplink frames through each cell of a
+// fleet (one software RRU per cell, packets demuxed by the router) and
+// reports merged latency percentiles and aggregate frames/s.
+func RunFleetUplink(cfg Config, opts Options, cells, totalWorkers int,
+	snrDB float64, nFrames int, seed int64) (*FleetSummary, error) {
+	return harness.RunFleetUplink(cfg, opts, cells, totalWorkers, snrDB, nFrames, seed)
 }

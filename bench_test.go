@@ -373,6 +373,59 @@ func BenchmarkTable5_ServerProfiles(b *testing.B) {
 	}
 }
 
+// benchFleet measures one frame through every cell of a warm fleet
+// (DESIGN §16): per iteration, each cell's RRU emits one frame through
+// the shared router and the iteration ends when all cells report. The
+// Cells2/Cells4 pair against BenchmarkTable1_SteadyStateFrame shows the
+// cost of sharding one host's worker budget across cells.
+func benchFleet(b *testing.B, cells int) {
+	cfg := laptopCfg()
+	fl, err := NewFleet(FleetConfig{Cells: cells, Frame: cfg, TotalWorkers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl.Start()
+	defer fl.Stop()
+	gens := make([]*Generator, cells)
+	for c := range gens {
+		g, err := NewGenerator(cfg, Rayleigh, 25, 1+int64(c))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.SetCell(uint8(c))
+		gens[c] = g
+	}
+	frame := uint32(0)
+	runAll := func() {
+		for _, g := range gens {
+			if err := g.EmitFrame(frame, fl.Route); err != nil {
+				b.Fatal(err)
+			}
+		}
+		frame++
+		for c := 0; c < cells; c++ {
+			r := <-fl.Results()
+			if r.Dropped {
+				b.Fatalf("cell %d dropped frame %d", r.Cell, r.Frame)
+			}
+		}
+	}
+	for i := 0; i < 2; i++ { // warm up arenas and caches
+		runAll()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runAll()
+	}
+}
+
+// BenchmarkFleet_Cells2 runs the 2-cell fleet steady state.
+func BenchmarkFleet_Cells2(b *testing.B) { benchFleet(b, 2) }
+
+// BenchmarkFleet_Cells4 runs the 4-cell fleet steady state.
+func BenchmarkFleet_Cells4(b *testing.B) { benchFleet(b, 4) }
+
 // BenchmarkWorkloadGenerator isolates the software RRU's TX chain
 // (the paper's §5.2 IQ sample generator).
 func BenchmarkWorkloadGenerator(b *testing.B) {

@@ -6,9 +6,14 @@
 //
 //	go run ./cmd/agora -listen :9000 &
 //	go run ./cmd/rru   -agora 127.0.0.1:9000 -frames 50
+//
+// With -cells N it becomes a multi-cell fleet (DESIGN §16): N engines
+// behind a cell router demuxing the stream by the packet header's Cell
+// byte, with one aggregated expvar endpoint. Pair with cmd/rru -cells N.
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -28,7 +33,9 @@ import (
 func main() {
 	var (
 		listen  = flag.String("listen", ":9000", "UDP listen address for fronthaul traffic")
-		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines (per cell when -cells > 1 and -cell-workers is 0)")
+		cells   = flag.Int("cells", 1, "run a multi-cell fleet of this many engines behind a cell router")
+		cellW   = flag.Int("cell-workers", 0, "shared worker budget split across cells (0 = -workers per cell)")
 		scale   = flag.String("scale", "small", "cell preset: small (16x4) or paper (64x16)")
 		cfgPath = flag.String("config", "", "JSON cell configuration file (overrides -scale)")
 		rt      = flag.Bool("realtime", false, "lock workers to OS threads, relax GC")
@@ -37,6 +44,7 @@ func main() {
 		noTrace = flag.Bool("no-trace", false, "disable the per-worker event tracer")
 		fec     = flag.Int("fec", 0, "Reed-Solomon parity packets per symbol burst (match the RRU's -fec)")
 		rxCopy  = flag.Bool("rx-copy", false, "use the copying RX ablation instead of zero-copy leases")
+		zfClust = flag.Int("zf-clusters", 0, "decentralized ZF: partition antennas into this many partial-Gram clusters (0/1 = monolithic)")
 	)
 	flag.Parse()
 
@@ -50,14 +58,19 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	opts := agora.Options{
+		Workers: *workers, RealTime: *rt, DisableTracing: *noTrace,
+		FECParity: *fec, DisableZeroCopyRX: *rxCopy, ZFClusters: *zfClust,
+	}
 	tr, err := agora.NewUDP(*listen, "", agora.PacketSizeFor(&cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := agora.New(cfg, agora.Options{
-		Workers: *workers, RealTime: *rt, DisableTracing: *noTrace,
-		FECParity: *fec, DisableZeroCopyRX: *rxCopy,
-	}, tr)
+	if *cells > 1 {
+		runFleet(cfg, opts, tr, *cells, *cellW, *listen, *metrics)
+		return
+	}
+	eng, err := agora.New(cfg, opts, tr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,12 +81,7 @@ func main() {
 		// the default mux; the snapshot merges live counters with the
 		// per-task cost table (safe to read mid-run).
 		expvar.Publish("agora", expvar.Func(func() any { return eng.MetricsSnapshot() }))
-		go func() {
-			fmt.Printf("agora: metrics on http://%s/debug/vars (pprof on /debug/pprof)\n", *metrics)
-			if err := http.ListenAndServe(*metrics, nil); err != nil {
-				log.Printf("agora: metrics server: %v", err)
-			}
-		}()
+		serveMetrics(*metrics)
 	}
 	eng.Start()
 
@@ -126,6 +134,100 @@ func main() {
 			fmt.Println("agora: idle (waiting for fronthaul traffic)...")
 		}
 	}
+}
+
+// runFleet is the -cells N path: one router ingesting the UDP stream,
+// demuxing to per-cell engines, publishing one aggregated expvar
+// snapshot, and reporting per-cell + fleet totals on SIGINT.
+func runFleet(cfg agora.Config, opts agora.Options, tr agora.Transport,
+	cells, cellWorkers int, listen, metrics string) {
+	fl, err := agora.NewFleet(agora.FleetConfig{
+		Cells: cells, Frame: cfg, Opts: opts, TotalWorkers: cellWorkers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agora: %s\n", cfg.String())
+	if cellWorkers > 0 {
+		fmt.Printf("agora: fleet of %d cells on %s (%d shared workers)\n",
+			cells, listen, cellWorkers)
+	} else {
+		fmt.Printf("agora: fleet of %d cells on %s (%d workers each)\n",
+			cells, listen, opts.Workers)
+	}
+	if metrics != "" {
+		expvar.Publish("agora", expvar.Func(func() any { return fl.Snapshot() }))
+		serveMetrics(metrics)
+	}
+	fl.Start()
+	fl.Serve(tr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	lat := stats.NewReservoir(4096)
+	perCell := make([]int, cells)
+	frames, ok, total := 0, 0, 0
+	for {
+		select {
+		case r := <-fl.Results():
+			frames++
+			perCell[r.Cell]++
+			if !r.Dropped {
+				lat.Add(r.Latency)
+				ok += r.BlocksOK
+				total += r.BlocksTotal
+			}
+			if frames%50 == 0 {
+				fmt.Printf("agora: %d frames (%v per cell), latency %s, blocks %d/%d, shed %d\n",
+					frames, perCell, lat.Summary(), ok, total, fl.Shed())
+			}
+		case <-sig:
+			// Drain in-flight frames before tearing the cells down, then
+			// print the aggregated fleet view.
+			if err := fl.Drain(5 * time.Second); err != nil {
+				log.Printf("agora: %v", err)
+			}
+			_ = tr.Close()
+			fl.Stop()
+			for r := range fl.Results() {
+				frames++
+				perCell[r.Cell]++
+				if !r.Dropped {
+					lat.Add(r.Latency)
+					ok += r.BlocksOK
+					total += r.BlocksTotal
+				}
+			}
+			snap := fl.Snapshot()
+			fmt.Printf("\nagora: fleet processed %d frames across %d cells %v\n",
+				frames, cells, perCell)
+			fmt.Printf("agora: merged latency %s\n", lat.Summary())
+			fmt.Printf("agora: blocks decoded %d/%d, shed %d packets\n", ok, total, fl.Shed())
+			fmt.Printf("agora: totals: dropped %d, deadline misses %d, seq gaps %d, FEC recovered %d\n",
+				snap.Totals.Dropped, snap.Totals.DeadlineMiss,
+				snap.Totals.SeqGaps, snap.Totals.FECRecovered)
+			for _, c := range snap.PerCell {
+				fmt.Printf("  cell %d [%s]: %d frames, %d dropped, p99 %.2f ms\n",
+					c.Cell, c.State, c.Frames, c.Dropped, c.Latency.P99MS)
+			}
+			if b, err := json.MarshalIndent(snap.Totals, "", "  "); err == nil {
+				fmt.Printf("agora: fleet totals JSON:\n%s\n", b)
+			}
+			return
+		case <-time.After(30 * time.Second):
+			fmt.Println("agora: idle (waiting for fronthaul traffic)...")
+		}
+	}
+}
+
+// serveMetrics starts the expvar/pprof HTTP listener.
+func serveMetrics(addr string) {
+	go func() {
+		fmt.Printf("agora: metrics on http://%s/debug/vars (pprof on /debug/pprof)\n", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("agora: metrics server: %v", err)
+		}
+	}()
 }
 
 // writeTrace dumps the engine's captured event window (call after Stop).

@@ -5,6 +5,11 @@
 //
 //	go run ./cmd/agora -listen :9000 &
 //	go run ./cmd/rru   -agora 127.0.0.1:9000 -frames 100
+//
+// With -cells N it emulates one RRU per cell of a fleet: N generators
+// with independent channels and payloads, each stamping its cell id into
+// the packet header, packets interleaved across cells within each frame
+// interval. Pair with cmd/agora -cells N.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 		cfgPath = flag.String("config", "", "JSON cell configuration file (overrides -scale)")
 		pace    = flag.Bool("pace", true, "pace frames at the configured frame rate")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		cells   = flag.Int("cells", 1, "emulate one RRU per cell of a fleet (stamps cell ids 0..N-1)")
 
 		fec       = flag.Int("fec", 0, "Reed-Solomon parity packets per symbol burst (0 = off)")
 		dropEvery = flag.Int("drop-every", 0, "deterministically drop every Nth packet (0 = off)")
@@ -50,17 +56,28 @@ func main() {
 		log.Fatal(err)
 	}
 	defer tr.Close()
-	gen, err := agora.NewGenerator(cfg, agora.Rayleigh, *snr, *seed)
-	if err != nil {
-		log.Fatal(err)
+	if *cells < 1 || *cells > 256 {
+		log.Fatalf("rru: -cells must be in [1,256], got %d", *cells)
 	}
-	if err := gen.SetFECParity(*fec); err != nil {
-		log.Fatal(err)
+	// One generator per cell: independent channel and payload streams,
+	// each stamping its cell id for the fleet router to demux.
+	gens := make([]*agora.Generator, *cells)
+	for c := range gens {
+		gen, err := agora.NewGenerator(cfg, agora.Rayleigh, *snr, *seed+int64(c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gen.SetFECParity(*fec); err != nil {
+			log.Fatal(err)
+		}
+		gen.SetCell(uint8(c))
+		gens[c] = gen
 	}
 	loss := agora.NewLossInjector(*dropEvery, *dropRate, *lossSeed)
 	sendPkt := loss.Wrap(tr.Send)
 	fmt.Printf("rru: %s\n", cfg.String())
-	fmt.Printf("rru: streaming to %s (pace=%v, SNR=%.1f dB, fec=%d)\n", *dst, *pace, *snr, *fec)
+	fmt.Printf("rru: streaming to %s (cells=%d, pace=%v, SNR=%.1f dB, fec=%d)\n",
+		*dst, *cells, *pace, *snr, *fec)
 	if loss.Active() {
 		fmt.Printf("rru: injecting loss (every=%d, rate=%.4f, seed=%d)\n", *dropEvery, *dropRate, *lossSeed)
 	}
@@ -70,11 +87,13 @@ func main() {
 	next := start
 	sent := 0
 	for f := 0; *frames == 0 || f < *frames; f++ {
-		if err := gen.EmitFrame(uint32(f), func(pkt []byte) error {
-			sent++
-			return sendPkt(pkt)
-		}); err != nil {
-			log.Fatal(err)
+		for _, gen := range gens {
+			if err := gen.EmitFrame(uint32(f), func(pkt []byte) error {
+				sent++
+				return sendPkt(pkt)
+			}); err != nil {
+				log.Fatal(err)
+			}
 		}
 		if *pace {
 			next = next.Add(frameDur)

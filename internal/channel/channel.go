@@ -1,8 +1,11 @@
 // Package channel provides the radio-world models used to exercise the
 // baseband without RF hardware: AWGN, i.i.d. Rayleigh and line-of-sight
-// (uniform linear array) channel matrices, SNR control, and the pilot
-// sequences Agora uses (frequency-orthogonal pilots for the emulated RRU
-// and Zadoff–Chu sequences for the hardware-RRU experiment).
+// (uniform linear array) channel matrices, frequency-selective multipath
+// (Selective, exponential power-delay profile), frame-to-frame channel
+// evolution (Evolve, for mobility and ZF-cache experiments), SNR
+// control, and the pilot sequences Agora uses (frequency-orthogonal
+// pilots for the emulated RRU and Zadoff–Chu sequences for the
+// hardware-RRU experiment).
 package channel
 
 import (

@@ -85,6 +85,10 @@ func newWorker(id int, e *Engine) *worker {
 		tab:     modulation.Get(cfg.Order),
 		code:    e.code,
 	}
+	// Decentralized Gram formation (DESIGN §16): the workspace carries the
+	// cluster count so both the equalizer and the precoder (which runs the
+	// equalizer internally) partition antennas identically.
+	w.zfws.Clusters = e.opts.ZFClusters
 	// Blocked-kernel plans and tile scratch. A demod tile spans at most one
 	// ZF group (it must share an equalizer) and at most one demod block; a
 	// precode tile spans one ZF group. maxB covers both.

@@ -194,6 +194,17 @@ type Options struct {
 	// negative means no age limit.
 	ZFCacheMaxAge int
 
+	// ZFClusters enables decentralized equalization (DESIGN §16): the M
+	// antennas are partitioned into ZFClusters contiguous clusters, each
+	// computing its partial Gram matrix H_cᴴH_c, with a central reduce
+	// summing the partials before the Cholesky solve — the computation
+	// shape of the decentralized massive-MIMO architectures in PAPERS.md,
+	// letting a future cell span more antennas than one engine touches.
+	// 0 or 1 keeps the monolithic single-pass Gram (the Table-4 ablation
+	// row); on a static channel the clustered reduce is bit-identical
+	// (see mat's TestGramClusteredBitIdentity).
+	ZFClusters int
+
 	// DisableZeroCopyRX reverts the receive path to the copying ablation:
 	// every fronthaul payload is memcpy'd out of the transport buffer
 	// into the per-slot rxRaw arrays inside acceptPacket, exactly the
@@ -271,6 +282,9 @@ func (o Options) validate() error {
 	}
 	if o.FECParity < 0 {
 		return fmt.Errorf("core: FECParity must be >= 0, got %d", o.FECParity)
+	}
+	if o.ZFClusters < 0 {
+		return fmt.Errorf("core: ZFClusters must be >= 0, got %d", o.ZFClusters)
 	}
 	return nil
 }

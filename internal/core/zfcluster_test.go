@@ -1,0 +1,41 @@
+package core
+
+// Decentralized equalization (DESIGN §16): Options.ZFClusters partitions
+// the antennas into clusters computing partial Gram matrices with a
+// central reduce. These tests pin the engine-level contract; the
+// bit-identity property across cluster counts lives in internal/mat
+// (TestGramClusteredBitIdentity, on an exactly-representable channel).
+
+import "testing"
+
+// TestZFClustersAblationIdentical: ZFClusters 0 and 1 must be the exact
+// monolithic path — decoded bits byte-identical frame by frame, even on
+// noisy pilot-estimated CSI.
+func TestZFClustersAblationIdentical(t *testing.T) {
+	const frames = 4
+	mono, _, _ := runBitFrames(t, Options{Workers: 3}, frames, 0)
+	one, _, _ := runBitFrames(t, Options{Workers: 3, ZFClusters: 1}, frames, 0)
+	sameBits(t, mono, one)
+}
+
+// TestZFClustersDecodesClean: a 4-cluster partial-Gram engine must decode
+// every block on a static channel — the reduce only reassociates float
+// sums, which cannot move the equalizer far enough to cost a block.
+func TestZFClustersDecodesClean(t *testing.T) {
+	const frames = 4
+	results, _, _ := runBitFrames(t, Options{Workers: 3, ZFClusters: 4}, frames, 0)
+	for f, r := range results {
+		if r.BlocksOK != r.BlocksTotal {
+			t.Fatalf("frame %d: %d/%d blocks decoded with ZFClusters=4",
+				f, r.BlocksOK, r.BlocksTotal)
+		}
+	}
+}
+
+// TestZFClustersRejectsNegative pins option validation.
+func TestZFClustersRejectsNegative(t *testing.T) {
+	cfg := smallCfg()
+	if _, err := NewEngine(cfg, Options{ZFClusters: -2}, nil); err == nil {
+		t.Fatal("negative ZFClusters accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+// Multi-cell scaling (DESIGN §16): how frame latency and aggregate
+// throughput move as one host's worker budget is sharded across fleet
+// cells. Not a paper figure — the paper scales within one engine — but
+// the measurement the ROADMAP's fleet tentpole calls for.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// FleetScale sweeps the cell count at a fixed total worker budget and
+// reports per-frame latency (median/p99) and the fleet's aggregate
+// frames/s. With homogeneous cells and a shared budget, aggregate
+// throughput should hold roughly flat while per-cell latency grows with
+// the division of workers — the sharding trade the fleet router buys.
+func FleetScale(w io.Writer, o Opt) error {
+	o = o.withDefaults()
+	frames := o.frames(6, 20)
+	cfg := scaledCfg(16, 4)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cellCounts := []int{1, 2, 4}
+	if !o.Quick {
+		cellCounts = []int{1, 2, 4, 8}
+	}
+	fmt.Fprintf(w, "# Fleet scaling: %s, %d total workers, %d frames/cell\n",
+		cfg.String(), o.Workers, frames)
+	fmt.Fprintf(w, "%-7s %-10s %-10s %-12s %-8s %-6s\n",
+		"cells", "median", "p99", "agg frames/s", "dropped", "shed")
+	for _, cells := range cellCounts {
+		sum, err := harness.RunFleetUplink(cfg, core.Options{},
+			cells, o.Workers, 25, frames, o.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-7d %-10v %-10v %-12.1f %-8d %-6d\n",
+			cells,
+			sum.Latency.Median().Round(time.Microsecond),
+			sum.Latency.Percentile(99).Round(time.Microsecond),
+			sum.AggFramesPerSec, sum.Dropped, sum.Shed)
+	}
+	return nil
+}

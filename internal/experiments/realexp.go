@@ -204,6 +204,10 @@ func Table4(w io.Writer, o Opt) error {
 		{"SoA LLR off", with(base, func(op *core.Options) { op.DisableSoALLR = true })},
 		{"lane decode off", with(base, func(op *core.Options) { op.DisableLaneDecode = true })},
 		{"ZF cache off", with(base, func(op *core.Options) { op.DisableZFCache = true })},
+		// Beyond the paper: decentralized partial-Gram equalization
+		// (DESIGN §16) — same math reassociated across 4 antenna clusters,
+		// so the row measures the reduce overhead, not a quality change.
+		{"decentral ZF (C=4)", with(base, func(op *core.Options) { op.ZFClusters = 4 })},
 		{"real-time mode on", with(base, func(op *core.Options) { op.RealTime = true })},
 	}
 	fmt.Fprintf(w, "%-20s %-10s %-8s %-10s %-8s\n", "configuration", "median", "ratio", "p99.9", "ratio")

@@ -10,7 +10,7 @@ import (
 )
 
 func TestHeaderRoundTrip(t *testing.T) {
-	h := Header{Frame: 12345, Symbol: 13, Antenna: 63, Samples: 2048, Dir: DirDownlink, Seq: 99}
+	h := Header{Frame: 12345, Symbol: 13, Antenna: 63, Samples: 2048, Dir: DirDownlink, Cell: 7, Seq: 99}
 	buf := make([]byte, HeaderSize)
 	h.Encode(buf)
 	var got Header

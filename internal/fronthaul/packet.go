@@ -36,7 +36,12 @@ type Header struct {
 	Antenna uint16
 	Samples uint32 // IQ sample count in the payload
 	Dir     Direction
-	Seq     uint64 // monotone per-sender sequence, for loss accounting
+	// Cell addresses a multi-cell deployment: the fleet router demuxes
+	// RRU streams to per-cell engines by this byte (DESIGN §16). It uses
+	// a previously-zeroed spare header byte, so legacy senders address
+	// cell 0 and single-cell deployments ignore it.
+	Cell uint8
+	Seq  uint64 // monotone per-sender sequence, for loss accounting
 }
 
 // PacketSize returns the wire size of a packet carrying n IQ samples.
@@ -53,8 +58,9 @@ func (h *Header) Encode(dst []byte) {
 	binary.LittleEndian.PutUint16(dst[10:], h.Antenna)
 	binary.LittleEndian.PutUint32(dst[12:], h.Samples)
 	dst[16] = byte(h.Dir)
+	dst[17] = h.Cell
 	binary.LittleEndian.PutUint64(dst[24:], h.Seq)
-	for i := 17; i < 24; i++ {
+	for i := 18; i < 24; i++ {
 		dst[i] = 0
 	}
 	for i := 32; i < HeaderSize; i++ {
@@ -84,6 +90,7 @@ func (h *Header) Decode(src []byte) error {
 	h.Antenna = binary.LittleEndian.Uint16(src[10:])
 	h.Samples = binary.LittleEndian.Uint32(src[12:])
 	h.Dir = Direction(src[16])
+	h.Cell = src[17]
 	h.Seq = binary.LittleEndian.Uint64(src[24:])
 	if len(src) < PacketSize(int(h.Samples)) {
 		return ErrTruncated
@@ -130,6 +137,6 @@ func BuildPacketRaw(dst []byte, h Header, payload []byte) []byte {
 
 // String implements fmt.Stringer.
 func (h Header) String() string {
-	return fmt.Sprintf("frame=%d sym=%d ant=%d n=%d dir=%d seq=%d",
-		h.Frame, h.Symbol, h.Antenna, h.Samples, h.Dir, h.Seq)
+	return fmt.Sprintf("cell=%d frame=%d sym=%d ant=%d n=%d dir=%d seq=%d",
+		h.Cell, h.Frame, h.Symbol, h.Antenna, h.Samples, h.Dir, h.Seq)
 }

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/frame"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// FleetSummary aggregates a multi-cell uplink run (DESIGN §16).
+type FleetSummary struct {
+	Cells       int
+	FramesEach  int   // frames recorded per cell
+	Frames      int64 // completed frames across the fleet
+	Dropped     int64
+	BlocksOK    int
+	BlocksTotal int
+	// Latency merges every cell's completed-frame latencies into one
+	// reservoir: true fleet percentiles, not an average of averages.
+	Latency *stats.Reservoir
+	// Wall is the measured span of the recorded (post-warmup) phase;
+	// AggFramesPerSec = Frames/Wall is the fleet's aggregate throughput,
+	// the multi-cell scaling metric of EXPERIMENTS.md.
+	Wall            time.Duration
+	AggFramesPerSec float64
+	// Shed counts packets the router refused (degraded/draining cells);
+	// zero in a healthy run.
+	Shed int64
+	// Snapshot is the final aggregated fleet metrics view.
+	Snapshot obs.FleetSnapshot
+}
+
+// RunFleetUplink drives nFrames uplink frames through each of `cells`
+// cell engines behind one fleet router, one generator per cell stamping
+// its cell id, packets interleaved across cells frame by frame with one
+// frame in flight per cell. totalWorkers > 0 splits a shared worker
+// budget across cells; 0 uses opts.Workers per cell.
+func RunFleetUplink(cfg frame.Config, opts core.Options, cells, totalWorkers int,
+	snrDB float64, nFrames int, seed int64) (*FleetSummary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fl, err := fleet.New(fleet.Config{
+		Cells: cells, Frame: cfg, Opts: opts, TotalWorkers: totalWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gens := make([]*workload.Generator, cells)
+	for c := range gens {
+		g, err := workload.NewGenerator(cfg, channel.Rayleigh, snrDB, seed+int64(c))
+		if err != nil {
+			return nil, err
+		}
+		g.SetCell(uint8(c))
+		gens[c] = g
+	}
+	fl.Start()
+	defer fl.Stop()
+	results := fl.Results()
+	recv := func() (fleet.CellResult, error) {
+		select {
+		case r := <-results:
+			return r, nil
+		case <-time.After(15 * time.Second):
+			return fleet.CellResult{}, fmt.Errorf("harness: fleet result timeout")
+		}
+	}
+	emitAll := func(f int) error {
+		for _, g := range gens {
+			if err := g.EmitFrame(uint32(f), fl.Route); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Warm up (unrecorded), as RunUplink does.
+	const warmup = 2
+	for f := 0; f < warmup; f++ {
+		if err := emitAll(f); err != nil {
+			return nil, err
+		}
+		for c := 0; c < cells; c++ {
+			if _, err := recv(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sum := &FleetSummary{
+		Cells:      cells,
+		FramesEach: nFrames,
+		Latency:    stats.NewReservoir(cells * nFrames),
+	}
+	start := time.Now()
+	for f := 0; f < nFrames; f++ {
+		if err := emitAll(warmup + f); err != nil {
+			return nil, err
+		}
+		for c := 0; c < cells; c++ {
+			r, err := recv()
+			if err != nil {
+				return nil, err
+			}
+			if r.Dropped {
+				sum.Dropped++
+				continue
+			}
+			sum.Frames++
+			sum.Latency.Add(r.Latency)
+			sum.BlocksOK += r.BlocksOK
+			sum.BlocksTotal += r.BlocksTotal
+		}
+	}
+	sum.Wall = time.Since(start)
+	if sum.Wall > 0 {
+		sum.AggFramesPerSec = float64(sum.Frames) / sum.Wall.Seconds()
+	}
+	sum.Shed = fl.Shed()
+	sum.Snapshot = fl.Snapshot()
+	return sum, nil
+}

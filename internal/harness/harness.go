@@ -1,7 +1,9 @@
-// Package harness drives complete uplink runs — software RRU feeding a
-// real engine over the in-process ring — and aggregates latency and error
-// statistics. Both the public API (package agora) and the experiment
-// suite build on it.
+// Package harness drives complete runs — software RRU feeding a real
+// engine over the in-process ring (RunUplink and friends), or several
+// per-cell RRUs feeding a multi-cell fleet through its router
+// (RunFleetUplink) — and aggregates latency and error statistics.
+// Both the public API (package agora) and the experiment suite build
+// on it.
 package harness
 
 import (

@@ -84,7 +84,19 @@ func GramInto(dst, a *M) {
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
-	for r := 0; r < a.Rows; r++ {
+	gramRangeInto(dst, a, 0, a.Rows)
+	mirrorGram(dst)
+}
+
+// gramRangeInto accumulates the upper triangle of aᴴ*a restricted to
+// antenna rows [r0, r1) into dst — the per-cluster partial Gram H_cᴴH_c
+// of decentralized baseband processing. dst is not zeroed and the lower
+// triangle is not mirrored; callers compose ranges and finish with
+// mirrorGram. GramInto and GramClusteredInto both run this exact kernel,
+// so a single full range is bit-identical to the monolithic path.
+func gramRangeInto(dst, a *M, r0, r1 int) {
+	k := a.Cols
+	for r := r0; r < r1; r++ {
 		row := a.Row(r)
 		for i := 0; i < k; i++ {
 			ai := complex(real(row[i]), -imag(row[i]))
@@ -94,12 +106,58 @@ func GramInto(dst, a *M) {
 			}
 		}
 	}
+}
+
+// mirrorGram fills the lower triangle of a Hermitian matrix from the
+// accumulated upper triangle.
+func mirrorGram(dst *M) {
+	k := dst.Cols
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
 			v := dst.At(i, j)
 			dst.Set(j, i, complex(real(v), -imag(v)))
 		}
 	}
+}
+
+// GramClusteredInto computes dst = aᴴ*a the way a decentralized
+// deployment would (PAPERS.md: "Decentralized Baseband Processing for
+// Massive MU-MIMO Systems"): the M antenna rows are partitioned into
+// `clusters` contiguous clusters, each computing its partial Gram
+// H_cᴴH_c independently into part, and a central reduce sums the
+// partials in cluster order. part is scratch of the same K×K shape as
+// dst. clusters <= 1 degenerates to GramInto's single full-range pass.
+func GramClusteredInto(dst, part, a *M, clusters int) {
+	k := a.Cols
+	if dst.Rows != k || dst.Cols != k {
+		panic("mat: GramClusteredInto shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	if clusters <= 1 {
+		gramRangeInto(dst, a, 0, a.Rows)
+		mirrorGram(dst)
+		return
+	}
+	if clusters > a.Rows {
+		clusters = a.Rows
+	}
+	if part.Rows != k || part.Cols != k {
+		panic("mat: GramClusteredInto scratch shape mismatch")
+	}
+	for c := 0; c < clusters; c++ {
+		r0 := c * a.Rows / clusters
+		r1 := (c + 1) * a.Rows / clusters
+		for i := range part.Data {
+			part.Data[i] = 0
+		}
+		gramRangeInto(part, a, r0, r1)
+		for i, v := range part.Data {
+			dst.Data[i] += v
+		}
+	}
+	mirrorGram(dst)
 }
 
 // MulVecInto computes dst = a*x for a column vector x with the inner loop

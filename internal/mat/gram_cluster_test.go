@@ -1,0 +1,151 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dyadicChannel builds an M×K channel whose entries are k/64 for integer
+// k in [-63, 63]. Every complex product then lands on the 2⁻¹² grid with
+// an integer numerator below 2¹³, and a sum of up to 64 such products
+// stays below 2²⁴ — exactly representable in a float32 mantissa. All
+// partial-Gram accumulations are therefore exact, so ANY association
+// order (any cluster count) must produce bit-identical sums.
+func dyadicChannel(rng *rand.Rand, m, k int) *M {
+	h := New(m, k)
+	for i := range h.Data {
+		re := float32(rng.Intn(127)-63) / 64
+		im := float32(rng.Intn(127)-63) / 64
+		h.Data[i] = complex(re, im)
+	}
+	return h
+}
+
+func bitsEqual(a, b *M) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(real(a.Data[i])) != math.Float32bits(real(b.Data[i])) ||
+			math.Float32bits(imag(a.Data[i])) != math.Float32bits(imag(b.Data[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGramClusteredBitIdentity is the decentralized-ZF property test of
+// DESIGN §16: on a static dyadic channel the C-cluster partial-Gram
+// reduce is bit-identical to the monolithic Gram for C ∈ {1, 2, 4}.
+func TestGramClusteredBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][2]int{{64, 16}, {32, 8}, {16, 4}} {
+		m, k := dims[0], dims[1]
+		h := dyadicChannel(rng, m, k)
+		mono := New(k, k)
+		GramInto(mono, h)
+		part := New(k, k)
+		for _, c := range []int{1, 2, 4} {
+			got := New(k, k)
+			GramClusteredInto(got, part, h, c)
+			if !bitsEqual(got, mono) {
+				t.Fatalf("M=%d K=%d clusters=%d: clustered Gram not bit-identical to monolithic", m, k, c)
+			}
+		}
+	}
+}
+
+// TestGramClusteredSingleClusterExact: C<=1 must be bit-identical to
+// GramInto on ARBITRARY floats (it runs the same kernel over the same
+// full range) — this is the C=1 ablation equivalence.
+func TestGramClusteredSingleClusterExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	h := randM(rng, 64, 16)
+	mono := New(16, 16)
+	GramInto(mono, h)
+	for _, c := range []int{0, 1} {
+		got := New(16, 16)
+		GramClusteredInto(got, New(16, 16), h, c)
+		if !bitsEqual(got, mono) {
+			t.Fatalf("clusters=%d: not bit-identical to GramInto on random channel", c)
+		}
+	}
+}
+
+// TestGramClusteredApproxOnRandom: on arbitrary floats the clustered
+// reduce differs only by float association — verify it stays within a
+// tight numerical tolerance of the monolithic sum.
+func TestGramClusteredApproxOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	h := randM(rng, 64, 16)
+	mono := New(16, 16)
+	GramInto(mono, h)
+	part := New(16, 16)
+	for _, c := range []int{2, 3, 4, 7, 64} {
+		got := New(16, 16)
+		GramClusteredInto(got, part, h, c)
+		if d := got.MaxAbsDiff(mono); d > 1e-3 {
+			t.Fatalf("clusters=%d: clustered Gram off by %v", c, d)
+		}
+	}
+}
+
+// TestGramClusteredMoreClustersThanAntennas: clusters are clamped to M;
+// empty ranges must not corrupt the reduce.
+func TestGramClusteredMoreClustersThanAntennas(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	h := dyadicChannel(rng, 8, 4)
+	mono := New(4, 4)
+	GramInto(mono, h)
+	got := New(4, 4)
+	GramClusteredInto(got, New(4, 4), h, 33)
+	if !bitsEqual(got, mono) {
+		t.Fatal("clusters>M: not bit-identical to monolithic on dyadic channel")
+	}
+}
+
+// TestZFEqualizerClusteredBitIdentity: the full ZF pipeline (clustered
+// Gram → Cholesky solve) is bit-identical across cluster counts on a
+// dyadic channel, because the factorization is a deterministic function
+// of bit-identical Gram inputs.
+func TestZFEqualizerClusteredBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	h := dyadicChannel(rng, 64, 16)
+	want := New(16, 64)
+	ws := NewZFWorkspace(16)
+	if err := ZFEqualizerInto(want, h, ws); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []int{1, 2, 4} {
+		wsC := NewZFWorkspace(16)
+		wsC.Clusters = c
+		got := New(16, 64)
+		if err := ZFEqualizerInto(got, h, wsC); err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(got, want) {
+			t.Fatalf("clusters=%d: ZF equalizer not bit-identical on dyadic channel", c)
+		}
+	}
+}
+
+// TestZFEqualizerClusteredApproxOnRandom: on a generic random channel
+// the clustered equalizer must still satisfy W·H ≈ I.
+func TestZFEqualizerClusteredApproxOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	h := randM(rng, 32, 8)
+	ws := NewZFWorkspace(8)
+	ws.Clusters = 4
+	w := New(8, 32)
+	if err := ZFEqualizerInto(w, h, ws); err != nil {
+		t.Fatal(err)
+	}
+	prod := New(8, 8)
+	MulInto(prod, w, h)
+	id := New(8, 8)
+	id.Eye()
+	if d := prod.MaxAbsDiff(id); d > 1e-3 {
+		t.Fatalf("clustered W*H far from identity: %v", d)
+	}
+}

@@ -90,6 +90,13 @@ type ZFWorkspace struct {
 	eqTmp               *M           // K×M equalizer staging for the precoder,
 	// sized lazily on first ZFPrecoderInto (the workspace is built
 	// knowing only K)
+
+	// Clusters selects decentralized Gram formation: antennas are
+	// partitioned into this many clusters, each computing a partial
+	// H_cᴴH_c with a central reduce (core.Options.ZFClusters). 0 or 1
+	// keeps the monolithic single-pass Gram.
+	Clusters int
+	gramPart *M // per-cluster partial Gram scratch, lazily sized
 }
 
 // NewZFWorkspace sizes the workspace for K users.
@@ -114,7 +121,14 @@ func ZFEqualizerInto(dst, h *M, ws *ZFWorkspace) error {
 	if dst.Rows != k || dst.Cols != h.Rows {
 		panic("mat: ZFEqualizerInto shape mismatch")
 	}
-	GramInto(ws.gram, h)
+	if ws.Clusters > 1 {
+		if ws.gramPart == nil || ws.gramPart.Rows != k || ws.gramPart.Cols != k {
+			ws.gramPart = New(k, k) // one-time; every later call reuses it
+		}
+		GramClusteredInto(ws.gram, ws.gramPart, h, ws.Clusters)
+	} else {
+		GramInto(ws.gram, h)
+	}
 	if CholeskyInto(ws.chol, ws.gram) {
 		// Solve (HᴴH)·W = Hᴴ in place: dst starts as Hᴴ.
 		h.ConjTransposeInto(dst)

@@ -1,0 +1,104 @@
+package obs
+
+// Fleet-level aggregation of the per-engine metrics plane (DESIGN §16).
+// Each cell engine keeps its own Metrics; a multi-cell deployment
+// (internal/fleet) snapshots every cell and merges them here into one
+// JSON document for a single expvar endpoint: summed counters, a
+// frame-weighted latency view, merged per-task totals, and the per-cell
+// snapshots preserved for drill-down.
+
+// CellSnap is one cell's snapshot tagged with its id and lifecycle state.
+type CellSnap struct {
+	Cell  int    `json:"cell"`
+	State string `json:"state"`
+	Snapshot
+}
+
+// FleetTotals sums the cross-cell counters. Mean latency is
+// frame-weighted; percentiles are deliberately absent here because they
+// cannot be merged from per-cell percentiles — FleetSnapshot.Latency
+// carries them from the fleet's own merged histogram instead.
+type FleetTotals struct {
+	Frames         int64   `json:"frames"`
+	Dropped        int64   `json:"dropped"`
+	DeadlineMiss   int64   `json:"deadline_miss"`
+	MeanMS         float64 `json:"mean_ms"`
+	MaxMS          float64 `json:"max_ms"`
+	ZFCacheHits    int64   `json:"zf_cache_hits"`
+	ZFCacheMisses  int64   `json:"zf_cache_misses"`
+	ZFCacheHitRate float64 `json:"zf_cache_hit_rate"`
+	SeqGaps        int64   `json:"seq_gaps"`
+	SeqLate        int64   `json:"seq_late"`
+	FECRecovered   int64   `json:"fec_recovered"`
+	RxDrops        int64   `json:"rx_drops"`
+	RxPkts         int64   `json:"rx_pkts"`
+	TxPkts         int64   `json:"tx_pkts"`
+	TxDrops        int64   `json:"tx_drops"`
+}
+
+// FleetSnapshot is the aggregated view a multi-cell deployment publishes
+// on expvar: fleet totals, true merged latency percentiles (fed by the
+// fleet's own Metrics over every cell's frame results), merged per-task
+// cost totals, and each cell's full snapshot.
+type FleetSnapshot struct {
+	Cells   int                 `json:"cells"`
+	Totals  FleetTotals         `json:"totals"`
+	Latency LatencySnap         `json:"latency"`
+	Tasks   map[string]TaskSnap `json:"tasks"`
+	PerCell []CellSnap          `json:"per_cell"`
+}
+
+// AggregateSnapshots merges per-cell snapshots into a FleetSnapshot.
+// The Latency field is left zero — callers holding a merged histogram
+// (fleet.Metrics) overwrite it with true cross-cell percentiles.
+func AggregateSnapshots(cells []CellSnap) FleetSnapshot {
+	fs := FleetSnapshot{
+		Cells:   len(cells),
+		Tasks:   make(map[string]TaskSnap),
+		PerCell: cells,
+	}
+	t := &fs.Totals
+	var weightedMeanMS float64
+	for i := range cells {
+		s := &cells[i].Snapshot
+		t.Frames += s.Frames
+		t.Dropped += s.Dropped
+		t.DeadlineMiss += s.DeadlineMiss
+		weightedMeanMS += s.Latency.MeanMS * float64(s.Latency.Count)
+		if s.Latency.MaxMS > t.MaxMS {
+			t.MaxMS = s.Latency.MaxMS
+		}
+		t.ZFCacheHits += s.Arena.ZFCacheHits
+		t.ZFCacheMisses += s.Arena.ZFCacheMisses
+		t.SeqGaps += s.Fronthaul.SeqGaps
+		t.SeqLate += s.Fronthaul.SeqLate
+		t.FECRecovered += s.Fronthaul.FECRecovered
+		t.RxDrops += s.Fronthaul.RxDrops
+		t.RxPkts += s.Fronthaul.RxPkts
+		t.TxPkts += s.Fronthaul.TxPkts
+		t.TxDrops += s.Fronthaul.TxDrops
+		for name, task := range s.Tasks {
+			agg := fs.Tasks[name]
+			agg.Count += task.Count
+			agg.TotalMS += task.TotalMS
+			fs.Tasks[name] = agg
+		}
+	}
+	if n := t.ZFCacheHits + t.ZFCacheMisses; n > 0 {
+		t.ZFCacheHitRate = float64(t.ZFCacheHits) / float64(n)
+	}
+	var frames int64
+	for i := range cells {
+		frames += cells[i].Latency.Count
+	}
+	if frames > 0 {
+		t.MeanMS = weightedMeanMS / float64(frames)
+	}
+	for name, task := range fs.Tasks {
+		if task.Count > 0 {
+			task.MeanUS = task.TotalMS * 1e3 / float64(task.Count)
+			fs.Tasks[name] = task
+		}
+	}
+	return fs
+}

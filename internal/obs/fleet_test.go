@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateSnapshots(t *testing.T) {
+	mk := func(cell int, frames, dropped int64, meanMS, maxMS float64) CellSnap {
+		return CellSnap{
+			Cell:  cell,
+			State: "active",
+			Snapshot: Snapshot{
+				Frames:       frames,
+				Dropped:      dropped,
+				DeadlineMiss: frames / 10,
+				Latency:      LatencySnap{Count: frames, MeanMS: meanMS, MaxMS: maxMS},
+				Arena:        ArenaSnap{ZFCacheHits: 8, ZFCacheMisses: 2},
+				Fronthaul:    FronthaulSnap{SeqGaps: 3, FECRecovered: 1},
+				Tasks: map[string]TaskSnap{
+					"ZF": {Count: 10, TotalMS: 5},
+				},
+			},
+		}
+	}
+	fs := AggregateSnapshots([]CellSnap{
+		mk(0, 100, 2, 2.0, 9),
+		mk(1, 300, 1, 4.0, 12),
+	})
+	if fs.Cells != 2 || len(fs.PerCell) != 2 {
+		t.Fatalf("cells: %d / %d", fs.Cells, len(fs.PerCell))
+	}
+	if fs.Totals.Frames != 400 || fs.Totals.Dropped != 3 {
+		t.Fatalf("frame totals: %+v", fs.Totals)
+	}
+	// Frame-weighted mean: (100*2 + 300*4) / 400 = 3.5
+	if math.Abs(fs.Totals.MeanMS-3.5) > 1e-9 {
+		t.Fatalf("weighted mean %v", fs.Totals.MeanMS)
+	}
+	if fs.Totals.MaxMS != 12 {
+		t.Fatalf("max %v", fs.Totals.MaxMS)
+	}
+	if fs.Totals.ZFCacheHits != 16 || fs.Totals.ZFCacheMisses != 4 {
+		t.Fatalf("zf cache totals: %+v", fs.Totals)
+	}
+	if math.Abs(fs.Totals.ZFCacheHitRate-0.8) > 1e-9 {
+		t.Fatalf("hit rate %v", fs.Totals.ZFCacheHitRate)
+	}
+	if fs.Totals.SeqGaps != 6 || fs.Totals.FECRecovered != 2 {
+		t.Fatalf("fronthaul totals: %+v", fs.Totals)
+	}
+	zf := fs.Tasks["ZF"]
+	if zf.Count != 20 || zf.TotalMS != 10 {
+		t.Fatalf("task merge: %+v", zf)
+	}
+	// MeanUS recomputed from merged totals: 10 ms / 20 = 500 us.
+	if math.Abs(zf.MeanUS-500) > 1e-9 {
+		t.Fatalf("task mean %v", zf.MeanUS)
+	}
+}
+
+func TestAggregateSnapshotsEmpty(t *testing.T) {
+	fs := AggregateSnapshots(nil)
+	if fs.Cells != 0 || fs.Totals.Frames != 0 || fs.Totals.MeanMS != 0 {
+		t.Fatalf("empty aggregate: %+v", fs)
+	}
+}

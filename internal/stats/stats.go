@@ -1,6 +1,9 @@
-// Package stats collects the latency measurements the evaluation reports:
-// per-frame processing times, percentiles (median, 99.9th, max), CCDFs,
-// and simple mean/stddev accumulators for per-task costs.
+// Package stats collects the latency measurements the evaluation
+// reports: per-frame processing times in a Reservoir with exact
+// percentiles (median, p99, p99.9, max), CCDFs, simple mean/stddev
+// accumulators for per-task costs, and a fixed-allocation log-bucketed
+// streaming histogram (Hist) that the live metrics plane uses where a
+// reservoir's memory or sort cost would not fit.
 package stats
 
 import (

@@ -79,6 +79,10 @@ type Generator struct {
 	// holds the streaming parity accumulators, zeroed between symbols.
 	fec    *fronthaul.FEC
 	fecAcc [][]byte
+
+	// cell is stamped into every emitted packet header so a fleet router
+	// can demux this RRU's stream to its cell engine (see SetCell).
+	cell uint8
 }
 
 // NewGenerator builds a generator. cfg must already be validated.
@@ -285,6 +289,12 @@ func (g *Generator) SetFECParity(p int) error {
 // coherence cache hit.
 func (g *Generator) SetDoppler(rho float64) { g.doppler = rho }
 
+// SetCell stamps every subsequently emitted packet with a cell id, so a
+// multi-cell fleet router (internal/fleet) can demux interleaved RRU
+// streams to their cell engines. The default 0 matches single-cell
+// deployments and legacy receivers, which ignore the field.
+func (g *Generator) SetCell(cell uint8) { g.cell = cell }
+
 // EmitFrame generates all packets of one uplink frame and hands each to
 // emit (typically Transport.Send). Frame content is freshly randomized;
 // ground-truth bits are recorded in TruthBits.
@@ -418,6 +428,7 @@ func (g *Generator) mixAndEmit(frameID uint32, sym int, emit func([]byte) error)
 			Symbol:  uint16(sym),
 			Antenna: uint16(a),
 			Dir:     fronthaul.DirUplink,
+			Cell:    g.cell,
 			Seq:     g.txSeq,
 		}
 		pkt := fronthaul.BuildPacket(g.pkt, g.iq, h, g.antCP)
@@ -438,6 +449,7 @@ func (g *Generator) mixAndEmit(frameID uint32, sym int, emit func([]byte) error)
 				Symbol:  uint16(sym),
 				Antenna: uint16(cfg.Antennas + p),
 				Dir:     fronthaul.DirUplink,
+				Cell:    g.cell,
 				Seq:     g.txSeq,
 			}
 			pkt := fronthaul.BuildPacketRaw(g.pkt[:cap(g.pkt)], h, g.fecAcc[p])
