@@ -40,7 +40,7 @@ fuzz:
 
 # Key benchmarks (the ones BENCH_BASELINE.json regression checks target).
 bench:
-	$(GO) test -run '^$$' -bench 'Table1|Fig9|Table4|Decode_|Fleet_' -benchmem -count 5 .
+	$(GO) test -run '^$$' -bench 'Table1|Fig9|Table4|Decode_|Fleet_|RecorderOverhead' -benchmem -count 5 .
 
 # Re-snapshot the benchmark suite into BENCH_BASELINE.json. Only commit
 # the result when intentionally moving the baseline (e.g. after a perf PR).
@@ -57,9 +57,15 @@ baseline:
 # allocation creeping back into the recycled frame loop fails the build.
 # The -ingest pass benches acceptPacket in both RX modes and fails if
 # the zero-copy lease path falls behind its copying ablation (DESIGN §15).
+# The -overhead pass benches the SLO/flight recorder on vs off (DESIGN
+# §17) and fails if the recorder's measured cost (documented <2% median
+# in EXPERIMENTS.md) climbs past the noise-tolerant gate; the zero-alloc
+# gate above already runs with the recorder on (it is the default), so
+# attribution is also pinned to 0 allocs/op in the steady-state loop.
 perf:
 	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json -compare-bench 'Table1|Fig9|Table4_AllOptimizationsOn|Decode_' -compare-zero-alloc 'SteadyState'
 	$(GO) run ./cmd/bench -ingest
+	$(GO) run ./cmd/bench -overhead
 
 clean:
 	$(GO) clean

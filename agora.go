@@ -111,6 +111,26 @@ type (
 	FleetSnapshot = obs.FleetSnapshot
 	// FleetSummary aggregates a multi-cell harness run (RunFleetUplink).
 	FleetSummary = harness.FleetSummary
+	// StageSLO is one stage's live budget-attribution summary: per-frame
+	// busy-time distribution and mean share of the frame budget
+	// (DESIGN §17).
+	StageSLO = obs.StageSLO
+	// FrameRec is one frame's per-stage attribution record, carried on
+	// every FrameResult when the recorder is on.
+	FrameRec = obs.FrameRec
+	// Incident is one flight-recorder post-mortem: the bad frame's
+	// attribution record plus queue/arena/fronthaul state at capture.
+	Incident = obs.Incident
+	// IncidentReason classifies what made a frame bad.
+	IncidentReason = obs.IncidentReason
+)
+
+// Incident reasons.
+const (
+	IncidentDrop     = obs.IncidentDrop
+	IncidentDeadline = obs.IncidentDeadline
+	IncidentLoss     = obs.IncidentLoss
+	IncidentShed     = obs.IncidentShed
 )
 
 // Scheduling modes.

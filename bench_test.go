@@ -361,6 +361,40 @@ func benchTracerOverhead(b *testing.B, disable bool) {
 	}
 }
 
+// BenchmarkRecorderOverhead_On / _Off bound the cost of the SLO
+// recorder + flight recorder (DESIGN §17) on the Table-1 workload: _On
+// is the default engine (per-frame stage attribution folded into the
+// budget histograms, incident ring armed), _Off sets
+// Options.DisableRecorder. Same 16-frame-per-iteration shape as the
+// tracer pair, so the delta isolates the recorder's steady-state cost
+// (<2% median, gated by `make perf`). The attribution path allocates
+// nothing — FrameRec lives inside the recycled frameState — so the
+// SteadyState zero-alloc gate holds with the recorder on.
+func BenchmarkRecorderOverhead_On(b *testing.B) {
+	benchRecorderOverhead(b, false)
+}
+
+// BenchmarkRecorderOverhead_Off is the ablation: recorder disabled.
+func BenchmarkRecorderOverhead_Off(b *testing.B) {
+	benchRecorderOverhead(b, true)
+}
+
+func benchRecorderOverhead(b *testing.B, disable bool) {
+	b.Helper()
+	b.ReportAllocs()
+	const framesPerRun = 16
+	for i := 0; i < b.N; i++ {
+		sum, err := RunUplink(laptopCfg(), Options{Workers: 2, DisableRecorder: disable},
+			Rayleigh, 25, framesPerRun, false, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Drops > 0 {
+			b.Fatalf("dropped packets: %d", sum.Drops)
+		}
+	}
+}
+
 // BenchmarkTable5_ServerProfiles runs the cost-scaled profile comparison.
 func BenchmarkTable5_ServerProfiles(b *testing.B) {
 	for i := 0; i < b.N; i++ {

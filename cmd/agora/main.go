@@ -22,11 +22,13 @@ import (
 	_ "net/http/pprof" // -metrics-addr serves /debug/pprof alongside /debug/vars
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"repro"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -45,6 +47,7 @@ func main() {
 		fec     = flag.Int("fec", 0, "Reed-Solomon parity packets per symbol burst (match the RRU's -fec)")
 		rxCopy  = flag.Bool("rx-copy", false, "use the copying RX ablation instead of zero-copy leases")
 		zfClust = flag.Int("zf-clusters", 0, "decentralized ZF: partition antennas into this many partial-Gram clusters (0/1 = monolithic)")
+		incDir  = flag.String("incident-dir", "", "write flight-recorder post-mortems here on shutdown (incidents.json + one Chrome trace per incident)")
 	)
 	flag.Parse()
 
@@ -67,7 +70,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *cells > 1 {
-		runFleet(cfg, opts, tr, *cells, *cellW, *listen, *metrics)
+		runFleet(cfg, opts, tr, *cells, *cellW, *listen, *metrics, *incDir)
 		return
 	}
 	eng, err := agora.New(cfg, opts, tr)
@@ -81,6 +84,9 @@ func main() {
 		// the default mux; the snapshot merges live counters with the
 		// per-task cost table (safe to read mid-run).
 		expvar.Publish("agora", expvar.Func(func() any { return eng.MetricsSnapshot() }))
+		registerObs(obs.PromHandler(eng.MetricsSnapshot), eng.Incidents,
+			func() obs.RateCounters { return obs.CountersFromMetrics(eng.Metrics()) },
+			eng.Metrics().ResetHighWater)
 		serveMetrics(*metrics)
 	}
 	eng.Start()
@@ -111,10 +117,13 @@ func main() {
 					fmt.Printf("agora: wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceF)
 				}
 			}
+			if *incDir != "" {
+				dumpIncidents(eng.Incidents(), *incDir)
+			}
 			m := eng.Metrics()
 			fmt.Printf("\nagora: processed %d frames\n", frames)
-			fmt.Printf("agora: deadline misses %d (budget %v)\n",
-				m.DeadlineMiss.Load(), time.Duration(m.FrameBudgetNS.Load()))
+			fmt.Printf("agora: deadline misses %d (budget %v), incidents %d\n",
+				m.DeadlineMiss.Load(), time.Duration(m.FrameBudgetNS.Load()), m.Incidents.Load())
 			fmt.Printf("agora: latency %s\n", lat.Summary())
 			fmt.Printf("agora: blocks decoded %d/%d, packet drops %d\n", ok, total, eng.Drops())
 			fh := eng.MetricsSnapshot().Fronthaul
@@ -140,7 +149,7 @@ func main() {
 // demuxing to per-cell engines, publishing one aggregated expvar
 // snapshot, and reporting per-cell + fleet totals on SIGINT.
 func runFleet(cfg agora.Config, opts agora.Options, tr agora.Transport,
-	cells, cellWorkers int, listen, metrics string) {
+	cells, cellWorkers int, listen, metrics, incDir string) {
 	fl, err := agora.NewFleet(agora.FleetConfig{
 		Cells: cells, Frame: cfg, Opts: opts, TotalWorkers: cellWorkers,
 	})
@@ -157,6 +166,31 @@ func runFleet(cfg agora.Config, opts agora.Options, tr agora.Transport,
 	}
 	if metrics != "" {
 		expvar.Publish("agora", expvar.Func(func() any { return fl.Snapshot() }))
+		registerObs(obs.PromFleetHandler(fl.Snapshot), fl.Incidents,
+			func() obs.RateCounters {
+				// Sum fronthaul/ZF counters across cell engines (the merged
+				// fleet Metrics only sees frame results), then overlay the
+				// fleet-level frame and incident totals.
+				var c obs.RateCounters
+				for i := 0; i < fl.Cells(); i++ {
+					ec := obs.CountersFromMetrics(fl.Engine(i).Metrics())
+					c.SeqGaps += ec.SeqGaps
+					c.FECRecovered += ec.FECRecovered
+					c.ZFHits += ec.ZFHits
+					c.ZFMisses += ec.ZFMisses
+					c.DeadlineMiss += ec.DeadlineMiss
+					c.Incidents += ec.Incidents
+				}
+				fm := obs.CountersFromMetrics(fl.Metrics())
+				c.Frames, c.Dropped = fm.Frames, fm.Dropped
+				c.Incidents += fm.Incidents
+				return c
+			},
+			func() {
+				for i := 0; i < fl.Cells(); i++ {
+					fl.Engine(i).Metrics().ResetHighWater()
+				}
+			})
 		serveMetrics(metrics)
 	}
 	fl.Start()
@@ -198,6 +232,9 @@ func runFleet(cfg agora.Config, opts agora.Options, tr agora.Transport,
 					total += r.BlocksTotal
 				}
 			}
+			if incDir != "" {
+				dumpIncidents(fl.Incidents(), incDir)
+			}
 			snap := fl.Snapshot()
 			fmt.Printf("\nagora: fleet processed %d frames across %d cells %v\n",
 				frames, cells, perCell)
@@ -220,10 +257,88 @@ func runFleet(cfg agora.Config, opts agora.Options, tr agora.Transport,
 	}
 }
 
+// registerObs wires the DESIGN §17 observability surface onto the
+// default mux (served by serveMetrics): Prometheus text on /metrics,
+// the flight recorder on /debug/incidents, per-second rate series on
+// /debug/rates (fed by a 1 Hz sampler goroutine), and high-water
+// windowing on /debug/reset-highwater (POST).
+func registerObs(prom http.Handler, incidents func() []agora.Incident,
+	counters func() obs.RateCounters, resetHW func()) {
+	http.Handle("/metrics", prom)
+	http.HandleFunc("/debug/incidents", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteIncidentsJSON(w, incidents()); err != nil {
+			log.Printf("agora: incidents: %v", err)
+		}
+	})
+	sampler := obs.NewRateSampler(300, counters) // 5 min of 1 s deltas
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for now := range tick.C {
+			sampler.Sample(now)
+		}
+	}()
+	http.HandleFunc("/debug/rates", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sampler.Snapshot()); err != nil {
+			log.Printf("agora: rates: %v", err)
+		}
+	})
+	http.HandleFunc("/debug/reset-highwater", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		resetHW()
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// dumpIncidents writes the flight recorder's retained post-mortems:
+// one indexed JSON document plus a per-incident Chrome trace, each
+// loadable in chrome://tracing or ui.perfetto.dev.
+func dumpIncidents(incs []agora.Incident, dir string) {
+	if len(incs) == 0 {
+		fmt.Println("agora: flight recorder empty (no incidents)")
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("agora: incident dir: %v", err)
+		return
+	}
+	idx := filepath.Join(dir, "incidents.json")
+	f, err := os.Create(idx)
+	if err != nil {
+		log.Printf("agora: incident export: %v", err)
+		return
+	}
+	if err := obs.WriteIncidentsJSON(f, incs); err != nil {
+		log.Printf("agora: incident export: %v", err)
+	}
+	f.Close()
+	for i := range incs {
+		p := filepath.Join(dir, fmt.Sprintf("incident-%d.trace.json", incs[i].Seq))
+		tf, err := os.Create(p)
+		if err != nil {
+			log.Printf("agora: incident trace: %v", err)
+			continue
+		}
+		if err := obs.WriteIncidentTrace(tf, &incs[i]); err != nil {
+			log.Printf("agora: incident trace: %v", err)
+		}
+		tf.Close()
+	}
+	fmt.Printf("agora: wrote %d incidents to %s (index + per-incident Chrome traces)\n",
+		len(incs), dir)
+}
+
 // serveMetrics starts the expvar/pprof HTTP listener.
 func serveMetrics(addr string) {
 	go func() {
-		fmt.Printf("agora: metrics on http://%s/debug/vars (pprof on /debug/pprof)\n", addr)
+		fmt.Printf("agora: metrics on http://%s/debug/vars (pprof on /debug/pprof, Prometheus on /metrics)\n", addr)
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			log.Printf("agora: metrics server: %v", err)
 		}

@@ -53,6 +53,10 @@ func main() {
 		ingest      = flag.Bool("ingest", false, "run the RX ingest microbenchmark pair (zero-copy vs copy) and report the speedup")
 		ingestCount = flag.Int("ingest-count", 5, "samples per ingest benchmark (medians compared)")
 
+		overhead      = flag.Bool("overhead", false, "run the SLO/flight-recorder benchmark pair (recorder on vs off) and gate its cost")
+		overheadCount = flag.Int("overhead-count", 5, "samples per overhead benchmark (medians compared)")
+		overheadTol   = flag.Float64("overhead-tol", 0.10, "allowed fractional recorder cost before the gate fails")
+
 		compare  = flag.String("compare", "", "baseline JSON to check for regressions (exits non-zero on >tolerance median regression)")
 		cmpBench = flag.String("compare-bench", "Table1|Fig9", "benchmark regexp re-run for the comparison")
 		cmpCount = flag.Int("compare-count", 5, "samples per benchmark for the comparison (matches -baseline-count so both medians have the same sturdiness)")
@@ -79,6 +83,13 @@ func main() {
 	if *ingest {
 		if err := runIngest(*ingestCount); err != nil {
 			fmt.Fprintf(os.Stderr, "ingest failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *overhead {
+		if err := runOverhead(*overheadCount, *overheadTol); err != nil {
+			fmt.Fprintf(os.Stderr, "overhead failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

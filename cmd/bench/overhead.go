@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// runOverhead implements the -overhead mode: run the SLO/flight-recorder
+// benchmark pair (BenchmarkRecorderOverhead_On / _Off in the root
+// package) and report the recorder's steady-state cost. `make perf`
+// calls this after the baseline comparison: the measured median
+// overhead is typically under 2% (see EXPERIMENTS.md) and the gate
+// fails the build when the recorder-on path exceeds recorder-off by
+// more than tol.
+func runOverhead(count int, tol float64) error {
+	b := Baseline{Benchmarks: map[string]BaselineEntry{}}
+	samples := map[string][]benchSample{}
+	args := []string{"test", "-run", "^$", "-bench", "BenchmarkRecorderOverhead_",
+		"-benchmem", "-count", strconv.Itoa(count), "."}
+	fmt.Fprintf(os.Stderr, "overhead: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	pr, pw := io.Pipe()
+	cmd.Stdout = io.MultiWriter(os.Stderr, pw)
+	cmd.Stderr = os.Stderr
+	errc := make(chan error, 1)
+	go func() { errc <- parseBenchOutput(pr, &b, samples) }()
+	runErr := cmd.Run()
+	pw.Close()
+	if perr := <-errc; perr != nil {
+		return perr
+	}
+	if runErr != nil {
+		return fmt.Errorf("go test -bench: %w", runErr)
+	}
+	finalizeBaseline(&b, samples)
+	on, err := ingestEntry(&b, "BenchmarkRecorderOverhead_On")
+	if err != nil {
+		return err
+	}
+	off, err := ingestEntry(&b, "BenchmarkRecorderOverhead_Off")
+	if err != nil {
+		return err
+	}
+	frac := on.NsPerOp/off.NsPerOp - 1
+	fmt.Printf("overhead: recorder on %.0f ns/16-frame-run, off %.0f ns/16-frame-run\n",
+		on.NsPerOp, off.NsPerOp)
+	fmt.Printf("overhead: recorder cost %+.2f%% (gate: +%.0f%%)\n", 100*frac, 100*tol)
+	// Like the -ingest gate, the tolerance is deliberately looser than the
+	// documented median (<2%): back-to-back medians on a shared host swing
+	// a few percent on scheduler noise alone, so the gate only fails when
+	// the recorder path is clearly more expensive than its ablation.
+	if frac > tol {
+		return fmt.Errorf("recorder overhead regressed: on %.0f ns/op vs off %.0f ns/op (+%.1f%% > +%.0f%%)",
+			on.NsPerOp, off.NsPerOp, 100*frac, 100*tol)
+	}
+	return nil
+}

@@ -51,6 +51,11 @@ type stagesReport struct {
 	ZFShareUncached  float64 `json:"zf_share_uncached"`
 	ZFBusyMSCached   float64 `json:"zf_busy_ms_cached"`
 	ZFBusyMSUncached float64 `json:"zf_busy_ms_uncached"`
+	// SLOAttribution is the live recorder's per-stage budget attribution
+	// (DESIGN §17): per-frame busy-time distribution and mean share of
+	// the frame budget, folded online by the manager — unlike Stages
+	// above, which are reconstructed from the trace rings at quiescence.
+	SLOAttribution []agora.StageSLO `json:"slo_attribution"`
 }
 
 // runStages captures a traced uplink run and writes the report to out
@@ -94,6 +99,7 @@ func runStages(out string, full bool, frames, workers int, seed int64) error {
 		DeadlineMisses: sum.DeadlineMisses,
 		MedianMS:       sum.Latency.Median().Seconds() * 1e3,
 		P999MS:         sum.Latency.P999().Seconds() * 1e3,
+		SLOAttribution: sum.SLO,
 	}
 	totalBusy := tl.TotalBusyNS()
 	// Mean per-frame wall span per stage, over the frames in the capture
@@ -171,6 +177,17 @@ func runStages(out string, full bool, frames, workers int, seed int64) error {
 	for _, w := range rep.WorkerUtil {
 		fmt.Printf("worker %-2d: %5d events, util %5.1f%%, max idle gap %.1f µs\n",
 			w.Lane, w.Events, w.Utilization*100, w.MaxGapUS)
+	}
+	if len(rep.SLOAttribution) > 0 {
+		fmt.Printf("live SLO attribution (per-frame busy µs over %d frames)\n",
+			rep.Frames)
+		fmt.Printf("%-9s %10s %10s %10s %10s %7s\n",
+			"stage", "mean", "p50", "p99", "max", "share")
+		for _, r := range rep.SLOAttribution {
+			fmt.Printf("%-9s %10.1f %10.1f %10.1f %10.1f %6.1f%%\n",
+				r.Stage, r.MeanBusyUS, r.P50BusyUS, r.P99BusyUS, r.MaxBusyUS,
+				r.MeanShare*100)
+		}
 	}
 	fmt.Printf("deadline misses: %d (incl. warmup); latency median %.3f ms, p99.9 %.3f ms\n",
 		rep.DeadlineMisses, rep.MedianMS, rep.P999MS)

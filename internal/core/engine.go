@@ -41,6 +41,10 @@ type FrameResult struct {
 	Bits [][][]byte
 	// OKMask mirrors Bits with per-block parity outcomes.
 	OKMask [][]bool
+	// Rec is the frame's live SLO attribution record (DESIGN §17):
+	// per-stage busy/span nanoseconds relative to the engine epoch.
+	// Zero when Options.DisableRecorder is set.
+	Rec obs.FrameRec
 }
 
 // TaskStat summarizes per-task execution cost for one block type.
@@ -83,7 +87,25 @@ type Engine struct {
 	txAcc  obs.TaskAcc
 	txLane int
 
+	// epoch anchors every nanosecond stamp in the obs plane — trace
+	// events, Msg.T0/T1 completion stamps, FrameRec bounds — so the live
+	// SLO attribution and the quiescent timeline reconstruction agree
+	// bit-for-bit on the same frame (DESIGN §17).
+	epoch time.Time
+	// recorder gates the SLO attribution + flight recorder
+	// (!Options.DisableRecorder); incidents is the post-mortem ring.
+	recorder  bool
+	incidents *obs.IncidentRing
+
 	slotOwner []atomic.Uint32 // frame id + 1, 0 = free
+	// Fronthaul counter baselines captured by the RX goroutine at the
+	// moment a frame claims its slot. The manager reads them in
+	// newFrameState (the slotOwner publication orders the writes) so an
+	// incident's SeqGaps/SeqLate/FEC deltas cover the frame's own window
+	// even when RX ingests the whole burst before the manager admits.
+	slotGapBase  []atomic.Int64
+	slotLateBase []atomic.Int64
+	slotFECBase  []atomic.Int64
 	// rxSeen dedupes fronthaul packets per (slot, symbol, antenna) BEFORE
 	// the payload copy: a retransmitted packet must not overwrite a
 	// buffer a worker may already be reading.
@@ -216,6 +238,13 @@ type frameState struct {
 	zfCached bool
 
 	remaining int
+
+	// rec is the frame's live SLO attribution record, filled by the
+	// manager from completion stamps; the seq*/fec bases snapshot the
+	// fronthaul counters at admission so an incident can report the
+	// deltas attributable to this frame's window (DESIGN §17).
+	rec                              obs.FrameRec
+	seqGapBase, seqLateBase, fecBase int64
 }
 
 // NewEngine constructs an engine for cfg over transport tr. cfg is
@@ -264,6 +293,9 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 		return nil, err
 	}
 	e.slotOwner = make([]atomic.Uint32, opts.Slots)
+	e.slotGapBase = make([]atomic.Int64, opts.Slots)
+	e.slotLateBase = make([]atomic.Int64, opts.Slots)
+	e.slotFECBase = make([]atomic.Int64, opts.Slots)
 	e.rxSeen = make([][][]atomic.Bool, opts.Slots)
 	for s := range e.rxSeen {
 		e.rxSeen[s] = make([][]atomic.Bool, cfg.NumSymbols())
@@ -324,10 +356,17 @@ func NewEngine(cfg frame.Config, opts Options, tr fronthaul.Transport) (*Engine,
 	e.buildPollOrders()
 	e.met.FrameBudgetNS.Store(cfg.FrameDuration().Nanoseconds())
 	e.txLane = opts.Workers
+	e.epoch = time.Now()
+	e.recorder = !opts.DisableRecorder
+	if e.recorder {
+		e.incidents = obs.NewIncidentRing(opts.IncidentCapacity)
+	}
 	if !opts.DisableTracing {
 		// One lane per worker plus one for the network TX thread; lanes
 		// are single-writer so emission stays lock- and allocation-free.
-		e.trace = obs.NewTracer(opts.Workers+1, opts.TraceCapacity, time.Now())
+		// The tracer shares the engine epoch so trace stamps and the SLO
+		// recorder's completion stamps are directly comparable.
+		e.trace = obs.NewTracer(opts.Workers+1, opts.TraceCapacity, e.epoch)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		e.workers = append(e.workers, newWorker(i, e))
@@ -603,9 +642,32 @@ func (e *Engine) TaskStats() map[queue.TaskType]TaskStat {
 	return out
 }
 
+// stamp converts t to nanoseconds since the engine epoch — the time base
+// shared by trace events, completion stamps, and FrameRec bounds.
+func (e *Engine) stamp(t time.Time) int64 { return t.Sub(e.epoch).Nanoseconds() }
+
 // Metrics exposes the engine's live, race-safe counters and gauges
 // (frame/drop/deadline counts, latency histogram, sampled queue depths).
 func (e *Engine) Metrics() *obs.Metrics { return &e.met }
+
+// Incidents returns the flight recorder's retained post-mortems, oldest
+// first. Safe to call at any time; nil recorder (DisableRecorder) yields
+// an empty slice.
+func (e *Engine) Incidents() []obs.Incident {
+	if e.incidents == nil {
+		return nil
+	}
+	return e.incidents.Snapshot()
+}
+
+// IncidentCount returns the total number of incidents ever captured
+// (retained or not). Safe mid-run.
+func (e *Engine) IncidentCount() uint64 {
+	if e.incidents == nil {
+		return 0
+	}
+	return e.incidents.Count()
+}
 
 // MetricsSnapshot builds the JSON-friendly snapshot cmd/agora publishes
 // over expvar: live counters plus the per-task cost table. Safe mid-run.
@@ -695,15 +757,17 @@ func (e *Engine) runNetTX() {
 		_ = e.tr.Send(pkt)
 		end := time.Now()
 		e.txAcc.Add(float64(end.Sub(start).Nanoseconds()) / 1000)
+		t0, t1 := e.stamp(start), e.stamp(end)
 		if e.trace != nil {
 			e.trace.Emit(obs.Event{
-				Start: e.trace.Stamp(start), End: e.trace.Stamp(end),
+				Start: t0, End: t1,
 				Frame: m.Frame, Symbol: m.Symbol, TaskIdx: m.TaskIdx,
 				Lane: uint16(e.txLane), Type: queue.TaskPacketTX, Batch: 1,
 			})
 		}
 		comp := m
 		comp.Batch = 1
+		comp.T0, comp.T1 = t0, t1
 		for !e.compQ.TryEnqueue(comp) {
 			runtime.Gosched()
 		}
@@ -758,9 +822,13 @@ func (e *Engine) runWorker(w *worker) {
 		}
 		perTask := float64(el.Nanoseconds()) / 1000 / float64(batch)
 		w.perTask[m.Type].AddN(batch, perTask)
+		// Execution stamps ride back to the manager on the completion
+		// message itself (former Msg padding), feeding the live SLO
+		// attribution without touching the quiescence-only trace rings.
+		m.T0, m.T1 = e.stamp(start), e.stamp(end)
 		if e.trace != nil {
 			e.trace.Emit(obs.Event{
-				Start: e.trace.Stamp(start), End: e.trace.Stamp(end),
+				Start: m.T0, End: m.T1,
 				Frame: m.Frame, Symbol: m.Symbol, TaskIdx: m.TaskIdx,
 				Lane: uint16(w.id), Type: m.Type, Batch: uint8(batch),
 			})

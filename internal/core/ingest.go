@@ -316,6 +316,15 @@ func (e *Engine) acceptPacket(pkt []byte, fromTransport bool) (leased bool, err 
 			// to reap it.
 			return false, nil
 		}
+		// Snapshot the fronthaul counter baselines BEFORE publishing the
+		// claim: newFrameState reads them after observing slotOwner, so
+		// the CAS release/acquire pair orders the stores. Captured here —
+		// not at admission — because the RX goroutine may ingest an
+		// entire burst (counting its gaps) before the manager pops the
+		// first rxQ message.
+		e.slotGapBase[slot].Store(e.met.SeqGaps.Load())
+		e.slotLateBase[slot].Store(e.met.SeqLate.Load())
+		e.slotFECBase[slot].Store(e.met.FECRecovered.Load())
 		if !e.slotOwner[slot].CompareAndSwap(0, h.Frame+1) &&
 			e.slotOwner[slot].Load() != h.Frame+1 {
 			e.notifyGhost(h.Frame)

@@ -164,6 +164,14 @@ func (e *Engine) newFrameState(id uint32, slot int, t time.Time) *frameState {
 	for s := range f.gotPkt {
 		clear(f.gotPkt[s])
 	}
+	f.rec.Reset(id)
+	// Counter baselines were snapshotted by the RX goroutine when this
+	// frame claimed its slot (see acceptPacket) — reading the live
+	// counters here would fold in gaps RX already counted inside this
+	// frame's burst, zeroing the incident deltas.
+	f.seqGapBase = e.slotGapBase[slot].Load()
+	f.seqLateBase = e.slotLateBase[slot].Load()
+	f.fecBase = e.slotFECBase[slot].Load()
 	m := cfg.Antennas
 	g := cfg.ZFGroups()
 	k := cfg.Users
@@ -443,6 +451,9 @@ func (e *Engine) onCompletion(m queue.Msg) {
 	sym := int(m.Symbol)
 	now := time.Now()
 	f.remaining -= b
+	if e.recorder {
+		f.rec.Observe(m.Type, m.T0, m.T1, b)
+	}
 	switch m.Type {
 	case queue.TaskPilotFFT:
 		f.pilotDone += b
@@ -709,6 +720,33 @@ func (e *Engine) finishFrame(f *frameState, dropped bool) {
 	if !end.IsZero() {
 		res.Latency = end.Sub(f.firstPkt)
 	}
+	if e.recorder {
+		// Seal the attribution record: frame bounds + latency in epoch
+		// nanoseconds, then hand a copy to the result and the SLO
+		// histograms. Healthy frames take only the two comparisons in
+		// the incident gate below.
+		f.rec.FirstPktNS = e.stamp(f.firstPkt)
+		if !end.IsZero() {
+			f.rec.DoneNS = e.stamp(end)
+		}
+		f.rec.LatencyNS = res.Latency.Nanoseconds()
+		f.rec.Dropped = dropped
+		res.Rec = f.rec
+		if !dropped {
+			e.met.ObserveStages(&f.rec)
+		}
+		budget := e.met.FrameBudgetNS.Load()
+		if dropped || (budget > 0 && f.rec.LatencyNS > budget) {
+			reason := obs.IncidentDeadline
+			if dropped {
+				reason = obs.IncidentDrop
+				if e.met.SeqGaps.Load() > f.seqGapBase {
+					reason = obs.IncidentLoss
+				}
+			}
+			e.captureIncident(&f.rec, reason, f.seqGapBase, f.seqLateBase, f.fecBase)
+		}
+	}
 	if dropped {
 		e.met.FramesDropped.Add(1)
 	} else if res.Latency > 0 {
@@ -760,6 +798,29 @@ func (e *Engine) finishFrame(f *frameState, dropped bool) {
 	e.tryAdmitPending()
 }
 
+// captureIncident records a bad frame's post-mortem into the flight
+// recorder ring (DESIGN §17): the attribution record plus the system
+// gauges at capture time. Rare by construction, so it re-samples the
+// queue depths for freshness before snapshotting them.
+func (e *Engine) captureIncident(rec *obs.FrameRec, reason obs.IncidentReason,
+	seqGapBase, seqLateBase, fecBase int64) {
+	e.sampleQueues()
+	inc := obs.Incident{
+		Reason:            reason,
+		Rec:               *rec,
+		FreeStates:        e.met.FreeStates.Load(),
+		SeqGapsDelta:      e.met.SeqGaps.Load() - seqGapBase,
+		SeqLateDelta:      e.met.SeqLate.Load() - seqLateBase,
+		FECRecoveredDelta: e.met.FECRecovered.Load() - fecBase,
+	}
+	for i := 0; i < obs.NumGauges; i++ {
+		inc.Queues[i] = e.met.QueueDepth[i].Load()
+		inc.QueueMax[i] = e.met.QueueMax[i].Load()
+	}
+	e.incidents.Record(inc)
+	e.met.Incidents.Add(1)
+}
+
 // releaseSlot clears the RX-dedupe bitmap and frees the slot-owner word.
 // The bitmap clear must come BEFORE releasing the slot: once the owner
 // word is zero a new frame may claim the slot and start setting flags,
@@ -799,6 +860,15 @@ func (e *Engine) reapStale(now time.Time) {
 		e.reclaimLeases(s)
 		e.releaseSlot(s)
 		e.met.FramesDropped.Add(1)
+		if e.recorder {
+			// Never-admitted frame: no task ever ran, so the post-mortem
+			// is the empty record plus the gauges — still enough to see
+			// an admission stall (free-list at zero, deep RX queue).
+			rec := obs.FrameRec{Frame: p.id, Dropped: true,
+				FirstPktNS: e.stamp(p.first)}
+			e.captureIncident(&rec, obs.IncidentDrop,
+				e.met.SeqGaps.Load(), e.met.SeqLate.Load(), e.met.FECRecovered.Load())
+		}
 		select {
 		case e.results <- FrameResult{Frame: p.id, Dropped: true, FirstPkt: p.first}:
 		default: // consumer too slow; drop the report, not the pipeline

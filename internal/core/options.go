@@ -143,6 +143,19 @@ type Options struct {
 	// chrome://tracing.
 	TraceCapacity int
 
+	// DisableRecorder turns off the live SLO attribution and the anomaly
+	// flight recorder (DESIGN §17): completion messages stop carrying
+	// execution stamps into per-frame FrameRecs, the per-stage budget
+	// histograms stay empty, and no incidents are captured. Zero-value-on
+	// convention: the enabled recorder adds a few manager-side integer
+	// folds per completion and one branch per healthy frame, and neither
+	// setting allocates on the hot path (see BenchmarkRecorderOverhead).
+	DisableRecorder bool
+
+	// IncidentCapacity sets how many post-mortems the flight recorder
+	// ring retains (oldest overwritten). Zero means 64.
+	IncidentCapacity int
+
 	// RealTime pins workers to OS threads and disables GC assists during
 	// the run, the analogue of running Agora as a real-time process with
 	// isolated cores (§4.3). Unlike the other knobs this one defaults to
@@ -265,6 +278,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TraceCapacity <= 0 {
 		o.TraceCapacity = 1 << 10
+	}
+	if o.IncidentCapacity <= 0 {
+		o.IncidentCapacity = 64
 	}
 	if o.ZFCacheDelta <= 0 {
 		o.ZFCacheDelta = 0.05

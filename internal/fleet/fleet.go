@@ -22,6 +22,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -135,7 +136,8 @@ type Fleet struct {
 	cfg      Config
 	cells    []*cell
 	results  chan CellResult
-	met      obs.Metrics // merged across cells (true fleet-wide histogram)
+	met      obs.Metrics       // merged across cells (true fleet-wide histogram)
+	inc      *obs.IncidentRing // fleet-level incidents (cell shed events)
 	misroute atomic.Int64
 
 	fwdWG    sync.WaitGroup
@@ -163,6 +165,7 @@ func New(cfg Config) (*Fleet, error) {
 		cfg:     cfg,
 		cells:   make([]*cell, cfg.Cells),
 		results: make(chan CellResult, 64*cfg.Cells),
+		inc:     obs.NewIncidentRing(64),
 	}
 	mtu := fronthaul.PacketSize(cfg.Frame.SamplesPerSymbol()) + 64
 	for i := range f.cells {
@@ -210,8 +213,12 @@ func (f *Fleet) forward(c *cell) {
 			f.met.FramesDropped.Add(1)
 		} else {
 			f.met.ObserveFrame(int64(r.Latency))
+			// Fold the frame's attribution record into the fleet-merged
+			// SLO histograms (a no-op for recorder-off engines: every
+			// stage's task count is zero).
+			f.met.ObserveStages(&r.Rec)
 		}
-		f.degradeStep(c, bad)
+		f.degradeStep(c, bad, &r.Rec)
 		f.results <- CellResult{Cell: c.id, FrameResult: r}
 	}
 	if CellState(c.state.Load()) != Stopped {
@@ -220,8 +227,9 @@ func (f *Fleet) forward(c *cell) {
 }
 
 // degradeStep advances the cell's graceful-degradation state machine on
-// one frame outcome.
-func (f *Fleet) degradeStep(c *cell, bad bool) {
+// one frame outcome. rec is the outcome frame's attribution record,
+// captured into the fleet flight recorder on an Active→Degraded edge.
+func (f *Fleet) degradeStep(c *cell, bad bool, rec *obs.FrameRec) {
 	if f.cfg.DegradeThreshold < 0 {
 		return
 	}
@@ -241,6 +249,17 @@ func (f *Fleet) degradeStep(c *cell, bad bool) {
 		c.degradeEpoch.Add(1)
 		c.state.Store(int32(Degraded))
 		c.badStreak = 0
+		// Shed incident: the frame that tipped the streak, plus the
+		// cell's queue/arena gauges at the edge (DESIGN §17).
+		inc := obs.Incident{Cell: c.id, Reason: obs.IncidentShed, Rec: *rec}
+		em := c.eng.Metrics()
+		for i := 0; i < obs.NumGauges; i++ {
+			inc.Queues[i] = em.QueueDepth[i].Load()
+			inc.QueueMax[i] = em.QueueMax[i].Load()
+		}
+		inc.FreeStates = em.FreeStates.Load()
+		f.inc.Record(inc)
+		f.met.Incidents.Add(1)
 	}
 }
 
@@ -312,6 +331,22 @@ func (f *Fleet) Shed() int64 {
 // true cross-cell latency histogram).
 func (f *Fleet) Metrics() *obs.Metrics { return &f.met }
 
+// Incidents merges every cell's flight-recorder captures with the
+// fleet's own shed incidents, tagged by cell and ordered by capture
+// time. Safe mid-run.
+func (f *Fleet) Incidents() []obs.Incident {
+	var out []obs.Incident
+	for _, c := range f.cells {
+		for _, inc := range c.eng.Incidents() {
+			inc.Cell = c.id
+			out = append(out, inc)
+		}
+	}
+	out = append(out, f.inc.Snapshot()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
 // Engine returns cell i's engine, for tests and drill-down tooling.
 func (f *Fleet) Engine(i int) *core.Engine { return f.cells[i].eng }
 
@@ -338,5 +373,8 @@ func (f *Fleet) Snapshot() obs.FleetSnapshot {
 		P999MS: ms(int64(f.met.Latency.Quantile(99.9))),
 		MaxMS:  ms(int64(f.met.Latency.Max())),
 	}
+	fs.SLO = f.met.SLORows()
+	fs.Totals.Incidents += f.met.Incidents.Load() // fleet shed incidents
+	fs.Totals.Shed = f.Shed()
 	return fs
 }

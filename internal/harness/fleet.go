@@ -34,6 +34,9 @@ type FleetSummary struct {
 	Shed int64
 	// Snapshot is the final aggregated fleet metrics view.
 	Snapshot obs.FleetSnapshot
+	// Incidents merges every cell's flight-recorder captures with the
+	// fleet's shed incidents, ordered by capture time.
+	Incidents []obs.Incident
 }
 
 // RunFleetUplink drives nFrames uplink frames through each of `cells`
@@ -123,5 +126,6 @@ func RunFleetUplink(cfg frame.Config, opts core.Options, cells, totalWorkers int
 	}
 	sum.Shed = fl.Shed()
 	sum.Snapshot = fl.Snapshot()
+	sum.Incidents = fl.Incidents()
 	return sum, nil
 }

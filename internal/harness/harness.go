@@ -55,6 +55,12 @@ type RunSummary struct {
 	// tracer: per-frame stage spans, worker utilization, idle gaps. Nil
 	// when Options.DisableTracing is set.
 	Timeline *obs.Timeline
+	// SLO is the run's per-stage budget attribution (DESIGN §17): the
+	// live histograms' final rows. Empty when Options.DisableRecorder.
+	SLO []obs.StageSLO
+	// Incidents is the flight recorder's retained post-mortems (bad
+	// frames: drops, deadline misses, FEC budget exceeded).
+	Incidents []obs.Incident
 }
 
 // BLER returns the run's block error rate.
@@ -225,6 +231,8 @@ func RunUplinkLink(cfg frame.Config, opts core.Options, model channel.Model,
 	sum.SeqGaps = eng.Metrics().SeqGaps.Load()
 	sum.SeqLate = eng.Metrics().SeqLate.Load()
 	sum.FECRecovered = eng.Metrics().FECRecovered.Load()
+	sum.SLO = eng.Metrics().SLORows()
+	sum.Incidents = eng.Incidents()
 	if eng.TracingEnabled() {
 		sum.Timeline = eng.Timeline()
 	}

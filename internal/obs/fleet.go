@@ -34,6 +34,12 @@ type FleetTotals struct {
 	RxPkts         int64   `json:"rx_pkts"`
 	TxPkts         int64   `json:"tx_pkts"`
 	TxDrops        int64   `json:"tx_drops"`
+	// Incidents sums every cell's flight-recorder captures (plus the
+	// fleet's own shed incidents, added by the caller).
+	Incidents int64 `json:"incidents"`
+	// Shed counts router-refused packets; filled by the caller (the
+	// aggregation itself only sees per-cell snapshots).
+	Shed int64 `json:"shed"`
 }
 
 // FleetSnapshot is the aggregated view a multi-cell deployment publishes
@@ -46,6 +52,10 @@ type FleetSnapshot struct {
 	Latency LatencySnap         `json:"latency"`
 	Tasks   map[string]TaskSnap `json:"tasks"`
 	PerCell []CellSnap          `json:"per_cell"`
+	// SLO is the fleet-level per-stage budget attribution, fed by the
+	// fleet's own merged StageBusy histograms (per-cell rows live in
+	// each cell's snapshot).
+	SLO []StageSLO `json:"slo,omitempty"`
 }
 
 // AggregateSnapshots merges per-cell snapshots into a FleetSnapshot.
@@ -77,6 +87,7 @@ func AggregateSnapshots(cells []CellSnap) FleetSnapshot {
 		t.RxPkts += s.Fronthaul.RxPkts
 		t.TxPkts += s.Fronthaul.TxPkts
 		t.TxDrops += s.Fronthaul.TxDrops
+		t.Incidents += s.Incidents
 		for name, task := range s.Tasks {
 			agg := fs.Tasks[name]
 			agg.Count += task.Count

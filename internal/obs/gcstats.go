@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// GC sampling via runtime/metrics instead of runtime.ReadMemStats: a
+// snapshot poller may hit /metrics hundreds of times a second, and
+// ReadMemStats stops the world — a latency spike injected by the act of
+// observing, exactly what a real-time frame loop cannot afford.
+// runtime/metrics reads are cheap synchronized counter loads.
+
+var gcSamples = []metrics.Sample{
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/sched/pauses/total/gc:seconds"},
+}
+
+// readGC samples the collector's cycle count and cumulative pause time.
+// Unknown metric names (older/newer runtimes) degrade to zero fields
+// rather than failing the snapshot.
+func readGC() GCSnap {
+	s := make([]metrics.Sample, len(gcSamples))
+	copy(s, gcSamples)
+	metrics.Read(s)
+	var g GCSnap
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		g.NumGC = uint32(s[0].Value.Uint64())
+	}
+	switch s[1].Value.Kind() {
+	case metrics.KindFloat64:
+		g.PauseTotalMS = s[1].Value.Float64() * 1e3
+	case metrics.KindFloat64Histogram:
+		g.PauseTotalMS = histApproxSum(s[1].Value.Float64Histogram()) * 1e3
+	}
+	return g
+}
+
+// histApproxSum estimates Σ samples of a runtime Float64Histogram by
+// weighting each bucket's count with its midpoint; ±Inf edges clamp to
+// the adjacent finite edge. Good to a bucket width, which is plenty for
+// a pause-total gauge.
+func histApproxSum(h *metrics.Float64Histogram) float64 {
+	var total float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		total += float64(count) * (lo + hi) / 2
+	}
+	return total
+}

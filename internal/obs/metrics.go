@@ -2,8 +2,8 @@ package obs
 
 import (
 	"math"
-	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/queue"
 	"repro/internal/stats"
@@ -56,6 +56,21 @@ type Metrics struct {
 	SeqGaps      atomic.Int64
 	SeqLate      atomic.Int64
 	FECRecovered atomic.Int64
+
+	// StageBusy streams each completed frame's per-stage busy time
+	// (DESIGN §17): the live SLO-attribution histograms that answer
+	// "which stage ate the budget" mid-run, unlike the quiescence-only
+	// timeline. Fed by ObserveStages from FrameRec folds.
+	StageBusy [queue.NumTaskTypes]stats.Hist
+
+	// Incidents counts flight-recorder captures (see IncidentRing);
+	// mirrored here so a counter-only poller sees bad frames without
+	// fetching the ring.
+	Incidents atomic.Int64
+
+	// HighWaterReset is the UnixNano time of the last ResetHighWater
+	// call (0 when the QueueMax gauges still cover the whole run).
+	HighWaterReset atomic.Int64
 }
 
 // ObserveFrame records one completed frame against the budget.
@@ -65,6 +80,30 @@ func (m *Metrics) ObserveFrame(latencyNS int64) {
 	if b := m.FrameBudgetNS.Load(); b > 0 && latencyNS > b {
 		m.DeadlineMiss.Add(1)
 	}
+}
+
+// ObserveStages folds one completed frame's attribution record into the
+// live per-stage histograms. Called by the manager (or a fleet's result
+// forwarder) once per completed frame; stages the frame never ran are
+// skipped so downlink rows stay empty on uplink-only runs.
+func (m *Metrics) ObserveStages(rec *FrameRec) {
+	for i := range rec.Stages {
+		if rec.Stages[i].Tasks > 0 {
+			m.StageBusy[i].AddNS(rec.Stages[i].BusyNS)
+		}
+	}
+}
+
+// ResetHighWater rewinds the QueueMax high-water gauges to the current
+// sampled depths so a monitor can window "max depth since my last poll"
+// instead of a run-lifetime ratchet. The reset instant is surfaced in the
+// snapshot. Racing in-flight SampleQueue calls can at worst re-ratchet a
+// gauge to a depth observed around the reset — never lose a later peak.
+func (m *Metrics) ResetHighWater() {
+	for i := range m.QueueMax {
+		m.QueueMax[i].Store(m.QueueDepth[i].Load())
+	}
+	m.HighWaterReset.Store(time.Now().UnixNano())
 }
 
 // SampleQueue records queue idx's instantaneous depth.
@@ -126,7 +165,8 @@ type FronthaulSnap struct {
 	RxPkts       int64 `json:"rx_pkts"`
 }
 
-// GCSnap carries the process-wide garbage-collector totals (from
+// GCSnap carries the process-wide garbage-collector totals (from the
+// runtime/metrics sampler in gcstats.go — no stop-the-world, unlike
 // runtime.ReadMemStats) so a dashboard can confirm the zero-allocation
 // frame loop keeps GC quiet mid-run.
 type GCSnap struct {
@@ -146,6 +186,14 @@ type Snapshot struct {
 	Arena         ArenaSnap             `json:"arena"`
 	Fronthaul     FronthaulSnap         `json:"fronthaul"`
 	GC            GCSnap                `json:"gc"`
+	// SLO is the live per-stage budget attribution (DESIGN §17),
+	// present once at least one frame has completed with the recorder on.
+	SLO []StageSLO `json:"slo,omitempty"`
+	// Incidents counts flight-recorder captures so far.
+	Incidents int64 `json:"incidents"`
+	// QueueMaxResetUnixMS is the wall-clock of the last ResetHighWater
+	// (0 = never): the window start for the QueueMax gauges.
+	QueueMaxResetUnixMS int64 `json:"queue_max_reset_unix_ms,omitempty"`
 }
 
 // gaugeName labels a gauge index for snapshots.
@@ -199,10 +247,41 @@ func (m *Metrics) Snap() Snapshot {
 		SeqLate:      m.SeqLate.Load(),
 		FECRecovered: m.FECRecovered.Load(),
 	}
-	var mem runtime.MemStats
-	runtime.ReadMemStats(&mem)
-	s.GC = GCSnap{NumGC: mem.NumGC, PauseTotalMS: float64(mem.PauseTotalNs) / 1e6}
+	s.SLO = m.SLORows()
+	s.Incidents = m.Incidents.Load()
+	if t := m.HighWaterReset.Load(); t > 0 {
+		s.QueueMaxResetUnixMS = t / 1e6
+	}
+	s.GC = readGC()
 	return s
+}
+
+// SLORows summarizes the live per-stage budget-attribution histograms,
+// ordered by pipeline stage; stages with no completed frames are omitted.
+func (m *Metrics) SLORows() []StageSLO {
+	budget := float64(m.FrameBudgetNS.Load())
+	var rows []StageSLO
+	for i := range m.StageBusy {
+		h := &m.StageBusy[i]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+		row := StageSLO{
+			Stage:      queue.TaskType(i).String(),
+			Frames:     n,
+			MeanBusyUS: us(h.Mean()),
+			P50BusyUS:  us(h.Quantile(50)),
+			P99BusyUS:  us(h.Quantile(99)),
+			MaxBusyUS:  us(h.Max()),
+		}
+		if budget > 0 {
+			row.MeanShare = float64(h.Mean()) / budget
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // TaskAcc is a single-writer mean/std accumulator whose state is

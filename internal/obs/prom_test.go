@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// testSnapshot builds a synthetic snapshot with every section populated.
+func testSnapshot() Snapshot {
+	return Snapshot{
+		Frames: 42, Dropped: 3, DeadlineMiss: 2, FrameBudgetMS: 1.0,
+		Latency: LatencySnap{Count: 42, MeanMS: 0.5, P50MS: 0.4, P99MS: 0.9, P999MS: 0.95, MaxMS: 1.2},
+		Queues: map[string]QueueGauge{
+			"FFT": {Depth: 1, Max: 7},
+			"RX":  {Depth: 0, Max: 12},
+		},
+		Tasks: map[string]TaskSnap{
+			"Decode": {Count: 100, MeanUS: 30, TotalMS: 3},
+			"ZF":     {Count: 10, MeanUS: 50, TotalMS: 0.5},
+		},
+		Arena:     ArenaSnap{FreeStates: 4, ZFCacheHits: 9, ZFCacheMisses: 1, ZFCacheHitRate: 0.9},
+		Fronthaul: FronthaulSnap{SeqGaps: 5, SeqLate: 1, FECRecovered: 4, RxPkts: 1000},
+		GC:        GCSnap{NumGC: 2, PauseTotalMS: 0.1},
+		SLO: []StageSLO{
+			{Stage: "Decode", Frames: 42, MeanBusyUS: 200, P50BusyUS: 190, P99BusyUS: 260, MaxBusyUS: 300, MeanShare: 0.2},
+		},
+		Incidents:           6,
+		QueueMaxResetUnixMS: 1700000000000,
+	}
+}
+
+// checkPromFormat walks exposition-format text and enforces the 0.0.4
+// grammar this repo relies on: every sample belongs to a family whose
+// HELP and TYPE headers appear exactly once, immediately before the
+// family's contiguous sample block.
+func checkPromFormat(t *testing.T, text string) map[string]int {
+	t.Helper()
+	headerSeen := map[string]int{} // family -> HELP count
+	samples := map[string]int{}    // family -> sample count
+	current := ""
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			headerSeen[name]++
+			if headerSeen[name] > 1 {
+				t.Fatalf("line %d: family %s declared twice (samples must be grouped)", ln+1, name)
+			}
+			current = name
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if fields[0] != current {
+				t.Fatalf("line %d: TYPE %s does not follow its HELP (current %s)", ln+1, fields[0], current)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Fatalf("line %d: invalid type %q", ln+1, fields[1])
+			}
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition output", ln+1)
+		default:
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			if name != current {
+				t.Fatalf("line %d: sample %s outside its family block (current %s)", ln+1, name, current)
+			}
+			if headerSeen[name] != 1 {
+				t.Fatalf("line %d: sample %s has no HELP/TYPE header", ln+1, name)
+			}
+			samples[name]++
+		}
+	}
+	return samples
+}
+
+// TestPromSnapshotFormat renders a fully populated snapshot and checks
+// both the grammar and the presence of specific series.
+func TestPromSnapshotFormat(t *testing.T) {
+	s := testSnapshot()
+	var buf bytes.Buffer
+	if err := WritePromSnapshot(&buf, &s); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples := checkPromFormat(t, text)
+	for _, want := range []string{
+		"agora_frames_total 42\n",
+		"agora_frames_dropped_total 3\n",
+		"agora_incidents_total 6\n",
+		"agora_frame_budget_seconds 0.001\n",
+		`agora_frame_latency_seconds{quantile="0.99"} 0.0009` + "\n",
+		"agora_frame_latency_seconds_count 42\n",
+		`agora_queue_depth_max{queue="RX"} 12` + "\n",
+		`agora_tasks_total{task="Decode"} 100` + "\n",
+		`agora_stage_busy_seconds{stage="Decode",quantile="0.5"} 0.00019` + "\n",
+		`agora_stage_budget_share{stage="Decode"} 0.2` + "\n",
+		"agora_seq_gaps_total 5\n",
+		"agora_gc_cycles_total 2\n",
+		"agora_queue_max_reset_timestamp_seconds 1.7e+09\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Two queues -> two samples under one agora_queue_depth family.
+	if samples["agora_queue_depth"] != 2 {
+		t.Fatalf("agora_queue_depth samples = %d, want 2", samples["agora_queue_depth"])
+	}
+	if samples["agora_frame_latency_seconds"] != 3 {
+		t.Fatalf("latency quantile samples = %d, want 3", samples["agora_frame_latency_seconds"])
+	}
+}
+
+// TestPromLabelEscaping pins the exposition escaping rules for label
+// values: backslash, double quote, newline.
+func TestPromLabelEscaping(t *testing.T) {
+	cases := map[string]string{
+		`plain`:        `plain`,
+		`back\slash`:   `back\\slash`,
+		`quo"te`:       `quo\"te`,
+		"new\nline":    `new\nline`,
+		"all\\\"\nmix": `all\\\"\nmix`,
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Fatalf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// End to end: a hostile label value survives rendering.
+	ps := newPromSet()
+	ps.add("x_total", "counter", "Test.", 1, promLabel{"k", "a\"b\\c\nd"})
+	var buf bytes.Buffer
+	if err := ps.write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `x_total{k="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("rendered %q, want it to contain %q", buf.String(), want)
+	}
+}
+
+// TestPromFleetGrouping renders a 2-cell fleet and checks per-cell
+// series interleave inside one family block instead of repeating
+// headers, that cell state and fleet-level series are present, and that
+// process-wide GC appears exactly once (unlabeled).
+func TestPromFleetGrouping(t *testing.T) {
+	cell := func(id int, frames int64) CellSnap {
+		s := testSnapshot()
+		s.Frames = frames
+		return CellSnap{Cell: id, State: "active", Snapshot: s}
+	}
+	fs := AggregateSnapshots([]CellSnap{cell(0, 10), cell(1, 20)})
+	fs.Latency = LatencySnap{Count: 30, MeanMS: 0.5, P50MS: 0.4, P99MS: 0.9, P999MS: 1.0, MaxMS: 1.1}
+	fs.SLO = []StageSLO{{Stage: "Decode", Frames: 30, MeanShare: 0.25}}
+	var buf bytes.Buffer
+	if err := WritePromFleet(&buf, &fs); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples := checkPromFormat(t, text)
+	for _, want := range []string{
+		"agora_cells 2\n",
+		`agora_fleet_frame_latency_seconds{quantile="0.5"} 0.0004` + "\n",
+		`agora_fleet_stage_budget_share{stage="Decode"} 0.25` + "\n",
+		`agora_cell_state{cell="0",state="active"} 1` + "\n",
+		`agora_frames_total{cell="0"} 10` + "\n",
+		`agora_frames_total{cell="1"} 20` + "\n",
+		"agora_gc_cycles_total 2\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("fleet output missing %q:\n%s", want, text)
+		}
+	}
+	if samples["agora_frames_total"] != 2 {
+		t.Fatalf("agora_frames_total samples = %d, want one per cell", samples["agora_frames_total"])
+	}
+	if samples["agora_gc_cycles_total"] != 1 {
+		t.Fatalf("agora_gc_cycles_total samples = %d, want exactly 1 (process-wide)", samples["agora_gc_cycles_total"])
+	}
+	if strings.Contains(text, `agora_gc_cycles_total{`) {
+		t.Fatal("GC series must not carry a cell label")
+	}
+}
+
+// TestPromHandler checks the HTTP wrapper: content type and body.
+func TestPromHandler(t *testing.T) {
+	h := PromHandler(func() Snapshot { return testSnapshot() })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("content type %q, want %q", ct, PromContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "agora_frames_total 42") {
+		t.Fatal("handler body missing agora_frames_total")
+	}
+	checkPromFormat(t, rec.Body.String())
+}

@@ -59,7 +59,14 @@ type Msg struct {
 	Slot    uint32
 	// Aux carries type-specific context (e.g. deadline ticks for TX).
 	Aux uint64
-	_   [5]uint64 // pad to 64 bytes
+	// T0/T1 are execution start/end stamps in nanoseconds since the
+	// engine's epoch, written by the executing worker just before the
+	// completion enqueue. The manager folds them into the per-frame SLO
+	// attribution record (obs.FrameRec) without needing the trace rings,
+	// which are only readable at quiescence. Zero on task (non-completion)
+	// messages.
+	T0, T1 int64
+	_      [3]uint64 // pad to 64 bytes
 }
 
 // cell pairs a message with its sequence number.
