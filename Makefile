@@ -37,6 +37,7 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzBitsBytesRoundTrip -fuzztime 5s ./internal/ldpc
 	$(GO) test -run '^$$' -fuzz FuzzQuantizeLLR -fuzztime 5s ./internal/ldpc
+	$(GO) test -run '^$$' -fuzz FuzzLayeredVsFlooding -fuzztime 5s ./internal/ldpc
 
 # Key benchmarks (the ones BENCH_BASELINE.json regression checks target).
 bench:
@@ -62,10 +63,15 @@ baseline:
 # in EXPERIMENTS.md) climbs past the noise-tolerant gate; the zero-alloc
 # gate above already runs with the recorder on (it is the default), so
 # attribution is also pinned to 0 allocs/op in the steady-state loop.
+# The -iters pass is the deterministic decode-convergence tripwire
+# (DESIGN §18): mean iterations-to-converge on a fixed seeded workload,
+# failing on >10% regression — it catches scheduling bugs that stay
+# correct and hide inside the wall-clock tolerance above.
 perf:
 	$(GO) run ./cmd/bench -compare BENCH_BASELINE.json -compare-bench 'Table1|Fig9|Table4_AllOptimizationsOn|Decode_' -compare-zero-alloc 'SteadyState'
 	$(GO) run ./cmd/bench -ingest
 	$(GO) run ./cmd/bench -overhead
+	$(GO) run ./cmd/bench -iters BENCH_BASELINE.json
 
 clean:
 	$(GO) clean

@@ -111,6 +111,9 @@ type (
 	FleetSnapshot = obs.FleetSnapshot
 	// FleetSummary aggregates a multi-cell harness run (RunFleetUplink).
 	FleetSummary = harness.FleetSummary
+	// DecodeSnap is the LDPC decode-iteration accounting (DESIGN §18):
+	// blocks decoded, mean/max BP iterations, early-exit rate.
+	DecodeSnap = obs.DecodeSnap
 	// StageSLO is one stage's live budget-attribution summary: per-frame
 	// busy-time distribution and mean share of the frame budget
 	// (DESIGN §17).

@@ -260,6 +260,79 @@ func benchDecode8Path(b *testing.B, legacy bool) {
 func BenchmarkDecode_LaneMajorInt8(b *testing.B) { benchDecode8Path(b, false) }
 func BenchmarkDecode_LegacyInt8(b *testing.B)    { benchDecode8Path(b, true) }
 
+// schedBenchLLR is the decode-schedule reference workload: a random
+// codeword at the default 64×16 code whose ±4 LLRs carry σ=2.5 Gaussian
+// noise — harsh enough that min-sum runs several real iterations (unit
+// noise decodes in one, hiding any schedule difference) while still
+// converging under both schedules. Shared by the Decode_Layered/_Flooding
+// pairs and mirrored by cmd/bench's -iters tripwire.
+func schedBenchLLR(rng *rand.Rand, code *ldpc.Code) []float32 {
+	info := make([]byte, code.K())
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	cw := make([]byte, code.N())
+	code.Encode(cw, info)
+	llr := make([]float32, code.N())
+	for i, bit := range cw {
+		if bit == 0 {
+			llr[i] = 4
+		} else {
+			llr[i] = -4
+		}
+		llr[i] += float32(2.5 * rng.NormFloat64())
+	}
+	return llr
+}
+
+// benchDecodeSched measures the float decoder with the message-passing
+// schedule selectable: the layered default (fused incremental syndrome)
+// against the flooding ablation (DESIGN §18). Unlike the LaneMajor/Legacy
+// pair the two sides run different iteration counts by design — the gap
+// is the combined effect of the halved iterations-to-converge and the
+// O(1) convergence test.
+func benchDecodeSched(b *testing.B, flooding bool) {
+	rng := rand.New(rand.NewSource(1))
+	code := ldpc.MustNew(ldpc.Rate13, 104)
+	dec := ldpc.NewDecoder(code)
+	dec.Flooding = flooding
+	llr := schedBenchLLR(rng, code)
+	out := make([]byte, code.K())
+	if res := dec.Decode(out, llr, 20); !res.OK {
+		b.Fatalf("reference workload did not converge (flooding=%v)", flooding)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(out, llr, 20)
+	}
+}
+
+func BenchmarkDecode_Layered(b *testing.B)  { benchDecodeSched(b, false) }
+func BenchmarkDecode_Flooding(b *testing.B) { benchDecodeSched(b, true) }
+
+// benchDecodeSched8 is the int8 counterpart of benchDecodeSched.
+func benchDecodeSched8(b *testing.B, flooding bool) {
+	rng := rand.New(rand.NewSource(1))
+	code := ldpc.MustNew(ldpc.Rate13, 104)
+	dec := ldpc.NewDecoder8(code)
+	dec.Flooding = flooding
+	q := make([]int8, code.N())
+	dec.QuantizeLLR(q, schedBenchLLR(rng, code))
+	out := make([]byte, code.K())
+	if res := dec.Decode(out, q, 20); !res.OK {
+		b.Fatalf("reference workload did not converge (flooding=%v)", flooding)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(out, q, 20)
+	}
+}
+
+func BenchmarkDecode_LayeredInt8(b *testing.B)  { benchDecodeSched8(b, false) }
+func BenchmarkDecode_FloodingInt8(b *testing.B) { benchDecodeSched8(b, true) }
+
 // BenchmarkFig12_LDPCEncode is the encoding counterpart.
 func BenchmarkFig12_LDPCEncode(b *testing.B) {
 	code := ldpc.MustNew(ldpc.Rate13, 104)
@@ -320,6 +393,13 @@ func BenchmarkTable4_AoSLLR(b *testing.B) {
 // everything else stays optimized.
 func BenchmarkTable4_LaneDecodeOff(b *testing.B) {
 	benchFrame(b, laptopCfg(), Options{Workers: 2, DisableLaneDecode: true})
+}
+
+// BenchmarkTable4_FloodingDecode isolates the decode-schedule ablation:
+// only LDPC decoding reverts to the flooding message-passing schedule,
+// everything else stays optimized (DESIGN §18).
+func BenchmarkTable4_FloodingDecode(b *testing.B) {
+	benchFrame(b, laptopCfg(), Options{Workers: 2, DisableLayeredDecode: true})
 }
 
 // BenchmarkTable4_Radix2FFT isolates the split-radix engine's ablation:

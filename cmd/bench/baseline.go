@@ -22,6 +22,9 @@ type Baseline struct {
 	CPU        string                   `json:"cpu,omitempty"`
 	Note       string                   `json:"note,omitempty"`
 	Benchmarks map[string]BaselineEntry `json:"benchmarks"`
+	// DecodeIters is the deterministic iterations-to-converge reference
+	// the -iters tripwire gates against (see iters.go).
+	DecodeIters *ItersBaseline `json:"decode_iters,omitempty"`
 }
 
 // BaselineEntry summarizes repeated runs of one benchmark.
@@ -156,6 +159,11 @@ func runBaseline(inputs []string, pattern string, count int, note, out string) e
 	if len(b.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found")
 	}
+	iters, err := measureDecodeIters()
+	if err != nil {
+		return fmt.Errorf("decode iterations reference: %w", err)
+	}
+	b.DecodeIters = &iters
 	data, err := json.MarshalIndent(&b, "", "  ")
 	if err != nil {
 		return err

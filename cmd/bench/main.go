@@ -22,6 +22,11 @@
 //
 //	go run ./cmd/bench -compare BENCH_BASELINE.json
 //	go run ./cmd/bench -compare BENCH_BASELINE.json -compare-tol 0.05
+//
+// A deterministic tripwire guards the layered decoder's convergence speed
+// (mean iterations-to-converge on a fixed workload; no timing involved):
+//
+//	go run ./cmd/bench -iters BENCH_BASELINE.json
 package main
 
 import (
@@ -53,6 +58,9 @@ func main() {
 		ingest      = flag.Bool("ingest", false, "run the RX ingest microbenchmark pair (zero-copy vs copy) and report the speedup")
 		ingestCount = flag.Int("ingest-count", 5, "samples per ingest benchmark (medians compared)")
 
+		iters    = flag.String("iters", "", "baseline JSON whose decode_iters section gates the deterministic iterations-to-converge measurement (exits non-zero on >iters-tol regression)")
+		itersTol = flag.Float64("iters-tol", 0.10, "allowed fractional mean-iteration regression for -iters")
+
 		overhead      = flag.Bool("overhead", false, "run the SLO/flight-recorder benchmark pair (recorder on vs off) and gate its cost")
 		overheadCount = flag.Int("overhead-count", 5, "samples per overhead benchmark (medians compared)")
 		overheadTol   = flag.Float64("overhead-tol", 0.10, "allowed fractional recorder cost before the gate fails")
@@ -83,6 +91,13 @@ func main() {
 	if *ingest {
 		if err := runIngest(*ingestCount); err != nil {
 			fmt.Fprintf(os.Stderr, "ingest failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *iters != "" {
+		if err := runIters(*iters, *itersTol); err != nil {
+			fmt.Fprintf(os.Stderr, "iters failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

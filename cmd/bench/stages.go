@@ -51,6 +51,12 @@ type stagesReport struct {
 	ZFShareUncached  float64 `json:"zf_share_uncached"`
 	ZFBusyMSCached   float64 `json:"zf_busy_ms_cached"`
 	ZFBusyMSUncached float64 `json:"zf_busy_ms_uncached"`
+	// DecodeIters is the decode-iteration accounting of the main (layered)
+	// run; DecodeItersFlooding is from a third identically-seeded run with
+	// DisableLayeredDecode, so the pair prices the layered schedule the
+	// same way the ZF rows price the coherence cache (DESIGN §18).
+	DecodeIters         agora.DecodeSnap `json:"decode_iters"`
+	DecodeItersFlooding agora.DecodeSnap `json:"decode_iters_flooding"`
 	// SLOAttribution is the live recorder's per-stage budget attribution
 	// (DESIGN §17): per-frame busy-time distribution and mean share of
 	// the frame budget, folded online by the manager — unlike Stages
@@ -99,6 +105,7 @@ func runStages(out string, full bool, frames, workers int, seed int64) error {
 		DeadlineMisses: sum.DeadlineMisses,
 		MedianMS:       sum.Latency.Median().Seconds() * 1e3,
 		P999MS:         sum.Latency.P999().Seconds() * 1e3,
+		DecodeIters:    sum.Decode,
 		SLOAttribution: sum.SLO,
 	}
 	totalBusy := tl.TotalBusyNS()
@@ -156,6 +163,17 @@ func runStages(out string, full bool, frames, workers int, seed int64) error {
 			}
 		}
 	}
+	// Third identically-seeded run with the flooding decode schedule: the
+	// iteration-count delta against the layered main run is the convergence
+	// speedup the layered schedule buys (the busy-time effect shows up in
+	// the Decode stage row of a DisableLayeredDecode capture).
+	fldOpts := opts
+	fldOpts.DisableLayeredDecode = true
+	fld, err := agora.RunUplink(cfg, fldOpts, agora.Rayleigh, 25, frames, false, seed)
+	if err != nil {
+		return err
+	}
+	rep.DecodeItersFlooding = fld.Decode
 	for _, w := range tl.Workers {
 		rep.WorkerUtil = append(rep.WorkerUtil, workerRow{
 			Lane:        w.Lane,
@@ -187,6 +205,16 @@ func runStages(out string, full bool, frames, workers int, seed int64) error {
 			fmt.Printf("%-9s %10.1f %10.1f %10.1f %10.1f %6.1f%%\n",
 				r.Stage, r.MeanBusyUS, r.P50BusyUS, r.P99BusyUS, r.MaxBusyUS,
 				r.MeanShare*100)
+		}
+	}
+	if d := rep.DecodeIters; d.Blocks > 0 {
+		fmt.Printf("decode iterations (per code block, %d blocks)\n", d.Blocks)
+		fmt.Printf("%-9s %10s %8s %12s\n", "schedule", "mean iter", "max", "early-exit")
+		fmt.Printf("%-9s %10.2f %8d %11.1f%%\n",
+			"layered", d.MeanIters, d.MaxIters, d.EarlyExitRate*100)
+		if f := rep.DecodeItersFlooding; f.Blocks > 0 {
+			fmt.Printf("%-9s %10.2f %8d %11.1f%%\n",
+				"flooding", f.MeanIters, f.MaxIters, f.EarlyExitRate*100)
 		}
 	}
 	fmt.Printf("deadline misses: %d (incl. warmup); latency median %.3f ms, p99.9 %.3f ms\n",

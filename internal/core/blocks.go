@@ -104,6 +104,7 @@ func newWorker(id int, e *Engine) *worker {
 	w.dec = ldpc.NewDecoder(e.code)
 	w.dec.Alg = ldpc.NormalizedMinSum
 	w.dec.Legacy = e.opts.DisableLaneDecode
+	w.dec.Flooding = e.opts.DisableLayeredDecode
 	batchLanes := cfg.FFTBatch
 	if batchLanes < 1 {
 		batchLanes = 1
@@ -559,6 +560,7 @@ func (w *worker) runDecode(slot int, sym uint16, user int) {
 	res := w.dec.Decode(b.decoded[slot][sym][user],
 		llr[:e.code.N()], e.cfg.DecodeIter)
 	b.decodeOK[slot][sym][user] = res.OK
+	e.met.ObserveDecode(res.Iterations, res.OK && res.Iterations < e.cfg.DecodeIter)
 }
 
 // runEncode encodes one user's downlink code block.

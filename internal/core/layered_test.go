@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/modulation"
+)
+
+// TestDisableLayeredDecodeEquivalence is the engine-level contract for
+// the decode-schedule ablation: with identical decodable input frames,
+// the layered default and the DisableLayeredDecode flooding schedule must
+// produce identical decoded bits and decode outcomes for every user and
+// uplink symbol. (At 28 dB the generator's blocks decode cleanly, where
+// the two schedules provably agree; the kernel-level sweep including
+// iteration-count behaviour lives in ldpc.TestLayeredVsFloodingBits.)
+func TestDisableLayeredDecodeEquivalence(t *testing.T) {
+	cfg := soaCfg(modulation.QAM16)
+	layEng, layRes := runOneFrame(t, cfg, Options{Workers: 2}, 83)
+	fldEng, fldRes := runOneFrame(t, cfg, Options{Workers: 2, DisableLayeredDecode: true}, 83)
+	if layRes.Dropped || fldRes.Dropped {
+		t.Fatalf("dropped frame: layered=%v flooding=%v", layRes.Dropped, fldRes.Dropped)
+	}
+	if !fldEng.workers[0].dec.Flooding || layEng.workers[0].dec.Flooding {
+		t.Fatal("DisableLayeredDecode not wired to decoder Flooding flag")
+	}
+	for sym := 0; sym < cfg.NumSymbols(); sym++ {
+		if cfg.SymbolAt(sym) != frame.Uplink {
+			continue
+		}
+		for u := 0; u < cfg.Users; u++ {
+			for i, v := range fldEng.buf.decoded[0][sym][u] {
+				if layEng.buf.decoded[0][sym][u][i] != v {
+					t.Fatalf("sym %d user %d: decoded bit %d differs", sym, u, i)
+				}
+			}
+			if layEng.buf.decodeOK[0][sym][u] != fldEng.buf.decodeOK[0][sym][u] {
+				t.Fatalf("sym %d user %d: decodeOK differs", sym, u)
+			}
+		}
+	}
+	// Decode-iteration accounting must have seen every uplink block.
+	for name, eng := range map[string]*Engine{"layered": layEng, "flooding": fldEng} {
+		snap := eng.Metrics().DecodeSnap()
+		want := int64(2 * cfg.Users) // two uplink symbols ("PUU") × users
+		if snap.Blocks != want {
+			t.Fatalf("%s: DecodeBlocks=%d want %d", name, snap.Blocks, want)
+		}
+		if snap.Iters < snap.Blocks {
+			t.Fatalf("%s: DecodeIters=%d < blocks %d", name, snap.Iters, snap.Blocks)
+		}
+		if snap.MeanIters <= 0 || snap.MaxIters <= 0 {
+			t.Fatalf("%s: empty iteration summary %+v", name, snap)
+		}
+	}
+}

@@ -113,6 +113,17 @@ type Options struct {
 	// the message memory layout differ.
 	DisableLaneDecode bool
 
+	// DisableLayeredDecode replaces the default layered (serial-C) LDPC
+	// message-passing schedule with a flooding schedule (ldpc/flood.go,
+	// DESIGN §18): every check node of an iteration reads the beliefs from
+	// the previous full iteration instead of the freshest within-iteration
+	// values. Decoded information bits match the layered schedule on
+	// decodable inputs, but iterations-to-converge roughly double — the
+	// Table-4-style ablation that prices the layered schedule. When
+	// DisableLaneDecode is also set, the legacy check-major path (which is
+	// layered) wins and this toggle has no effect.
+	DisableLayeredDecode bool
+
 	// DisableSIMDConvert replaces the word-packed IQ conversion with the
 	// byte-at-a-time version (§4, data type conversions). It also precludes
 	// the fused unpack/permute FFT front end, which builds on the packed

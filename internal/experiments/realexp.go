@@ -203,6 +203,7 @@ func Table4(w io.Writer, o Opt) error {
 		{"split-radix FFT off", with(base, func(op *core.Options) { op.DisableSplitRadixFFT = true })},
 		{"SoA LLR off", with(base, func(op *core.Options) { op.DisableSoALLR = true })},
 		{"lane decode off", with(base, func(op *core.Options) { op.DisableLaneDecode = true })},
+		{"layered decode off", with(base, func(op *core.Options) { op.DisableLayeredDecode = true })},
 		{"ZF cache off", with(base, func(op *core.Options) { op.DisableZFCache = true })},
 		// Beyond the paper: decentralized partial-Gram equalization
 		// (DESIGN §16) — same math reassociated across 4 antenna clusters,

@@ -51,6 +51,10 @@ type RunSummary struct {
 	SeqGaps      int64
 	SeqLate      int64
 	FECRecovered int64
+	// Decode is the run's LDPC decode-iteration accounting (DESIGN §18):
+	// blocks decoded, mean/max BP iterations, and the early-exit rate of
+	// the fused syndrome check.
+	Decode obs.DecodeSnap
 	// Timeline is the reconstructed multi-frame schedule from the event
 	// tracer: per-frame stage spans, worker utilization, idle gaps. Nil
 	// when Options.DisableTracing is set.
@@ -231,6 +235,7 @@ func RunUplinkLink(cfg frame.Config, opts core.Options, model channel.Model,
 	sum.SeqGaps = eng.Metrics().SeqGaps.Load()
 	sum.SeqLate = eng.Metrics().SeqLate.Load()
 	sum.FECRecovered = eng.Metrics().FECRecovered.Load()
+	sum.Decode = eng.Metrics().DecodeSnap()
 	sum.SLO = eng.Metrics().SLORows()
 	sum.Incidents = eng.Incidents()
 	if eng.TracingEnabled() {

@@ -28,10 +28,22 @@ type Decoder struct {
 	// Legacy routes Decode through the check-major path instead of the
 	// lane-major kernel (lanes.go) — the Table-4-style ablation behind
 	// core's Options.DisableLaneDecode. Outputs are identical either way.
+	// Legacy takes precedence over Flooding (the check-major path only
+	// implements the layered schedule).
 	Legacy bool
-	l      []float32 // posterior LLR per variable
-	r      []float32 // check-to-variable message per edge instance
-	hard   []byte    // hard decisions
+	// Flooding replaces the default layered (serial-C) schedule with a
+	// flooding schedule (flood.go, DESIGN §18): every check of an
+	// iteration reads the APP values from the previous full iteration.
+	// The Table-4-style ablation behind core's Options.DisableLayeredDecode.
+	// On decodable inputs the decoded information bits match the layered
+	// schedule's; iteration counts are roughly doubled (the point of the
+	// ablation) and LLR trajectories legitimately differ.
+	Flooding bool
+	l        []float32 // posterior LLR per variable
+	lPrev    []float32 // flooding only: APP snapshot at iteration start
+	r        []float32 // check-to-variable message per edge instance
+	hard     []byte    // hard decisions
+	syn      synTrack  // fused incremental syndrome (layered.go)
 	// Legacy edge layout: for block-row i, edges are stored check by
 	// check: rowOff[i] + r*deg + e for check row r and edge index e. The
 	// lane kernel stores the same buffer lane-major, r[edge*Z+lane]
@@ -61,7 +73,9 @@ func NewDecoder(c *Code) *Decoder {
 	d := &Decoder{code: c, Offset: 0.5, Scale: 0.75}
 	nVar := (KbBlocks + c.Mb) * c.Z
 	d.l = make([]float32, nVar)
+	d.lPrev = make([]float32, nVar)
 	d.hard = make([]byte, nVar)
+	d.syn = newSynTrack(c)
 	d.rowOff = make([]int, c.Mb+1)
 	d.eOff = make([]int, c.Mb+1)
 	total, edges, maxDeg := 0, 0, 0
@@ -107,6 +121,12 @@ type Result struct {
 // The decoded information bits (one per byte) are written to info, which
 // must have length K(). Returns the iteration count and success flag;
 // on failure info holds the best-effort hard decisions.
+//
+// The default path is the lane-major layered kernel with syndrome
+// tracking fused into the layer update (layered.go); Legacy selects the
+// check-major loop and Flooding the flooding schedule, both of which pay
+// a hard-decision pass and — only when a bit actually flipped — a
+// CheckSyndrome walk per iteration.
 func (d *Decoder) Decode(info []byte, llr []float32, maxIter int) Result {
 	c := d.code
 	if len(llr) != c.N() {
@@ -125,29 +145,14 @@ func (d *Decoder) Decode(info []byte, llr []float32, maxIter int) Result {
 	if d.Alg == NormalizedMinSum {
 		scl, off = d.Scale, 0
 	}
-	res := Result{}
-	for it := 1; it <= maxIter; it++ {
-		res.Iterations = it
-		if d.Legacy {
-			d.iterateLegacy(scl, off)
-		} else {
-			d.iterateLanes(scl, off)
-		}
-		// Hard decisions + syndrome check for early termination.
-		for v, lv := range d.l {
-			if lv < 0 {
-				d.hard[v] = 1
-			} else {
-				d.hard[v] = 0
-			}
-		}
-		if c.CheckSyndrome(d.hard) {
-			res.OK = true
-			break
-		}
+	switch {
+	case d.Legacy:
+		return d.decodeWalked(info, maxIter, scl, off, false)
+	case d.Flooding:
+		return d.decodeWalked(info, maxIter, scl, off, true)
+	default:
+		return d.decodeLayered(info, maxIter, scl, off)
 	}
-	copy(info, d.hard[:c.K()])
-	return res
 }
 
 // iterateLegacy runs one layered BP iteration check by check — the

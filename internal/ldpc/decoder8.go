@@ -16,11 +16,21 @@ type Decoder8 struct {
 	// InScale converts float LLRs to the int8 domain in QuantizeLLR.
 	InScale float32
 	// Legacy routes Decode through the check-major path instead of the
-	// lane-major kernel (lanes.go); bit-identical either way.
+	// lane-major kernel (lanes.go); bit-identical either way. Takes
+	// precedence over Flooding (the check-major path only implements the
+	// layered schedule).
 	Legacy bool
-	l      []int16 // posterior (int16 headroom against overflow)
-	r      []int8  // check-to-variable messages
-	hard   []byte
+	// Flooding replaces the default layered (serial-C) schedule with a
+	// flooding schedule (flood.go, DESIGN §18) — core's
+	// Options.DisableLayeredDecode ablation. Decoded bits match the
+	// layered schedule on decodable inputs; iteration counts roughly
+	// double.
+	Flooding bool
+	l        []int16 // posterior (int16 headroom against overflow)
+	lPrev    []int16 // flooding only: APP snapshot at iteration start
+	r        []int8  // check-to-variable messages
+	hard     []byte
+	syn      synTrack // fused incremental syndrome (layered.go)
 	// Flat layout tables, mirroring Decoder: rowOff locates a block-row's
 	// message slab (both paths store messages at rowOff[i] + e*Z + lane),
 	// edgeBase/edgeShf are the per-edge variable-block base and cyclic
@@ -44,7 +54,9 @@ func NewDecoder8(c *Code) *Decoder8 {
 	d := &Decoder8{code: c, Offset: 1, InScale: 4}
 	nVar := (KbBlocks + c.Mb) * c.Z
 	d.l = make([]int16, nVar)
+	d.lPrev = make([]int16, nVar)
 	d.hard = make([]byte, nVar)
+	d.syn = newSynTrack(c)
 	d.rowOff = make([]int, c.Mb+1)
 	d.eOff = make([]int, c.Mb+1)
 	total, edges, maxDeg := 0, 0, 0
@@ -124,28 +136,14 @@ func (d *Decoder8) Decode(info []byte, llr []int8, maxIter int) Result {
 		d.l[i] = int16(v)
 	}
 	clear(d.r)
-	res := Result{}
-	for it := 1; it <= maxIter; it++ {
-		res.Iterations = it
-		if d.Legacy {
-			d.iterateLegacy8()
-		} else {
-			d.iterateLanes8()
-		}
-		for v, lv := range d.l {
-			if lv < 0 {
-				d.hard[v] = 1
-			} else {
-				d.hard[v] = 0
-			}
-		}
-		if c.CheckSyndrome(d.hard) {
-			res.OK = true
-			break
-		}
+	switch {
+	case d.Legacy:
+		return d.decodeWalked8(info, maxIter, false)
+	case d.Flooding:
+		return d.decodeWalked8(info, maxIter, true)
+	default:
+		return d.decodeLayered8(info, maxIter)
 	}
-	copy(info, d.hard[:c.K()])
-	return res
 }
 
 // iterateLegacy8 runs one layered iteration check by check on the flat

@@ -2,8 +2,12 @@ package ldpc
 
 import "math"
 
-// Lane-major layer processing (DESIGN §13): the default decode path for
-// both Decoder and Decoder8.
+// Lane-major layer processing (DESIGN §13): the slab kernels the default
+// layered decode path (layered.go) is built from. iterateLanes and
+// iterateLanes8 are the historical PR 5 iteration bodies — identical
+// arithmetic to iterateLayered/iterateLayered8 without the fused
+// syndrome bookkeeping — kept as the bit-identity reference the layered
+// tests pin against.
 //
 // The legacy path walks a block-row layer check by check — for each of
 // the Z lifted checks it chases `col*Z + (r+shift) mod Z` through the

@@ -1,0 +1,382 @@
+package ldpc
+
+import "math"
+
+// Layered decoding with fused incremental syndrome (DESIGN §18): the
+// default decode path for both Decoder and Decoder8.
+//
+// The lane-major kernel (lanes.go) already walks check layers serially —
+// each layer's pass 2 writes updated APP values in place, so the next
+// layer's pass 1 reads beliefs refreshed within the same iteration (the
+// serial-C / turbo-decoding message-passing schedule production 5G
+// decoders use, which converges in roughly half the iterations of a
+// flooding schedule at equal error rate; flood.go keeps flooding as the
+// measurable ablation). What the pre-§18 loop still paid per iteration
+// was convergence detection: a full hard-decision pass over every
+// variable plus a full CheckSyndrome edge walk — one gather with modular
+// indexing per edge per lane — even though late iterations flip almost
+// nothing.
+//
+// The fused path makes convergence detection incremental and exact:
+//
+//   - At Decode start, hard decisions are taken once from the channel
+//     LLRs and the per-check parity bits (synTrack.synd, one byte per
+//     lifted check) plus the unsatisfied-check count (nUnsat) are built
+//     with one segment-streamed walk — the only full-code walk the
+//     decode ever performs.
+//   - Pass 2 of every layer compares each updated posterior's sign with
+//     the stored hard decision. On a flip it toggles the parity of
+//     exactly the checks that variable participates in, via the
+//     column-major adjacency tables (colOff/colRow/colShf, the transpose
+//     of Code.rows), adjusting nUnsat by ±1 per toggle.
+//   - End-of-iteration convergence is then the O(1) test nUnsat == 0.
+//
+// Because the parity state is maintained exactly — not approximated from
+// each layer's transient sign products, which later layers may
+// invalidate — nUnsat == 0 holds if and only if CheckSyndrome(hard)
+// would report success, so decoded bits, iteration counts and Result are
+// bit-identical to the per-iteration-walk path (TestLaneDecodeEquivalence
+// and TestFusedSyndromeExact pin this). The per-flip cost is one branch
+// per updated lane plus column-degree parity toggles per actual flip;
+// flips concentrate in the first iteration and vanish as the decoder
+// converges, exactly when the old path kept paying full walks.
+
+// synTrack is the fused incremental-syndrome state shared by both
+// decoders: the transposed adjacency (which checks each variable
+// block-column touches, and with which cyclic shift), the per-check
+// parity bits, and the unsatisfied-check count.
+type synTrack struct {
+	// colOff[c]..colOff[c+1] index colRow/colShf with the block-rows
+	// containing column c and the circulant shift of that edge.
+	colOff []int32
+	colRow []int32
+	colShf []int32
+	// synd[i*Z+r] is the current parity of lifted check (i, r) under the
+	// decoder's hard-decision bits; nUnsat counts the nonzero entries.
+	synd   []byte
+	nUnsat int
+	z      int
+}
+
+// newSynTrack builds the adjacency tables and parity storage for code c.
+func newSynTrack(c *Code) synTrack {
+	cols := KbBlocks + c.Mb
+	s := synTrack{
+		colOff: make([]int32, cols+1),
+		synd:   make([]byte, c.Mb*c.Z),
+		z:      c.Z,
+	}
+	cnt := make([]int32, cols)
+	for _, row := range c.rows {
+		for _, e := range row {
+			cnt[e.col]++
+		}
+	}
+	for ci, n := range cnt {
+		s.colOff[ci+1] = s.colOff[ci] + n
+	}
+	total := s.colOff[cols]
+	s.colRow = make([]int32, total)
+	s.colShf = make([]int32, total)
+	fill := make([]int32, cols)
+	for i, row := range c.rows {
+		for _, e := range row {
+			k := s.colOff[e.col] + fill[e.col]
+			s.colRow[k] = int32(i)
+			s.colShf[k] = int32(e.shift)
+			fill[e.col]++
+		}
+	}
+	return s
+}
+
+// init rebuilds the parity bits and unsatisfied count from scratch for
+// the given hard decisions — the one full-code walk per Decode. Unlike
+// CheckSyndrome it streams each circulant as two contiguous segments
+// instead of a modular index per edge.
+func (s *synTrack) init(c *Code, hard []byte) {
+	z := c.Z
+	s.nUnsat = 0
+	for i := 0; i < c.Mb; i++ {
+		out := s.synd[i*z : (i+1)*z]
+		clear(out)
+		for _, e := range c.rows[i] {
+			blk := hard[e.col*z : (e.col+1)*z]
+			sh := e.shift
+			n := z - sh
+			a, b := blk[sh:], blk[:sh]
+			for r, v := range a {
+				out[r] ^= v
+			}
+			for r, v := range b {
+				out[n+r] ^= v
+			}
+		}
+		for _, v := range out {
+			if v != 0 {
+				s.nUnsat++
+			}
+		}
+	}
+}
+
+// toggle flips the parity of every check adjacent to variable (col, j):
+// an edge of column col with shift sh touches variable j in check lane
+// (j − sh) mod Z of its block-row.
+func (s *synTrack) toggle(col, j int) {
+	for k := s.colOff[col]; k < s.colOff[col+1]; k++ {
+		r := j - int(s.colShf[k])
+		if r < 0 {
+			r += s.z
+		}
+		p := int(s.colRow[k])*s.z + r
+		if s.synd[p] == 0 {
+			s.synd[p] = 1
+			s.nUnsat++
+		} else {
+			s.synd[p] = 0
+			s.nUnsat--
+		}
+	}
+}
+
+// decodeLayered is the default decode loop: the lane-major layered
+// kernel with syndrome tracking fused into the layer update. Results are
+// bit-identical to the walk-per-iteration paths.
+func (d *Decoder) decodeLayered(info []byte, maxIter int, scl, off float32) Result {
+	c := d.code
+	for v, lv := range d.l {
+		if lv < 0 {
+			d.hard[v] = 1
+		} else {
+			d.hard[v] = 0
+		}
+	}
+	d.syn.init(c, d.hard)
+	res := Result{}
+	for it := 1; it <= maxIter; it++ {
+		res.Iterations = it
+		d.iterateLayered(scl, off)
+		if d.syn.nUnsat == 0 {
+			res.OK = true
+			break
+		}
+	}
+	copy(info, d.hard[:c.K()])
+	return res
+}
+
+// iterateLayered is iterateLanes with the fused pass 2: identical
+// message/posterior arithmetic, plus flip detection against the hard
+// decisions and incremental parity maintenance.
+func (d *Decoder) iterateLayered(scl, off float32) {
+	c := d.code
+	z := c.Z
+	for i := range c.rows {
+		eo := d.eOff[i]
+		deg := d.eOff[i+1] - eo
+		ro := d.rowOff[i]
+		min1 := d.laneMin1[:z]
+		min2 := d.laneMin2[:z]
+		idx := d.laneIdx[:z]
+		sgn := d.laneSgn[:z]
+		for l := range min1 {
+			min1[l] = laneInitLLR
+			min2[l] = laneInitLLR
+			idx[l] = -1
+		}
+		clear(sgn)
+		for e := 0; e < deg; e++ {
+			base := d.edgeBase[eo+e]
+			s := d.edgeShf[eo+e]
+			qe := d.laneQ[e*z : (e+1)*z]
+			re := d.r[ro+e*z : ro+(e+1)*z]
+			lb := d.l[base : base+z]
+			n := z - s
+			laneReduce(qe[:n], re[:n], lb[s:], sgn[:n], min1[:n], min2[:n], idx[:n], int32(e))
+			laneReduce(qe[n:], re[n:], lb[:s], sgn[n:], min1[n:], min2[n:], idx[n:], int32(e))
+		}
+		for l, m := range min1 {
+			m = m*scl - off
+			if m < 0 {
+				m = 0
+			}
+			min1[l] = m
+			m2 := min2[l]*scl - off
+			if m2 < 0 {
+				m2 = 0
+			}
+			min2[l] = m2
+		}
+		for e := 0; e < deg; e++ {
+			base := d.edgeBase[eo+e]
+			s := d.edgeShf[eo+e]
+			col := base / z
+			qe := d.laneQ[e*z : (e+1)*z]
+			re := d.r[ro+e*z : ro+(e+1)*z]
+			lb := d.l[base : base+z]
+			hb := d.hard[base : base+z]
+			n := z - s
+			d.laneUpdateSyn(qe[:n], re[:n], lb[s:], hb[s:], sgn[:n], min1[:n], min2[:n], idx[:n], int32(e), col, s)
+			d.laneUpdateSyn(qe[n:], re[n:], lb[:s], hb[:s], sgn[n:], min1[n:], min2[n:], idx[n:], int32(e), col, 0)
+		}
+	}
+}
+
+// laneUpdateSyn is laneUpdate plus fused syndrome maintenance: dst[l] is
+// variable (col, j0+l); when its updated posterior crosses the hard
+// decision threshold the adjacent check parities are toggled. The message
+// and posterior values are computed exactly as laneUpdate computes them.
+func (d *Decoder) laneUpdateSyn(q, r, dst []float32, hard []byte, sgn []uint32, m1, m2 []float32, idx []int32, e int32, col, j0 int) {
+	if len(q) == 0 {
+		return
+	}
+	r = r[:len(q)]
+	dst = dst[:len(q)]
+	hard = hard[:len(q)]
+	sgn = sgn[:len(q)]
+	m1 = m1[:len(q)]
+	m2 = m2[:len(q)]
+	idx = idx[:len(q)]
+	for l := range q {
+		v := q[l]
+		mag := m1[l]
+		if idx[l] == e {
+			mag = m2[l]
+		}
+		nr := math.Float32frombits(math.Float32bits(mag) ^ ((sgn[l] ^ math.Float32bits(v)) & laneSignMask))
+		r[l] = nr
+		x := v + nr
+		dst[l] = x
+		// Hard-decision rule matches the walk paths exactly: x < 0 (so
+		// −0.0 and NaN stay bit 0).
+		nb := byte(0)
+		if x < 0 {
+			nb = 1
+		}
+		if nb != hard[l] {
+			hard[l] = nb
+			d.syn.toggle(col, j0+l)
+		}
+	}
+}
+
+// decodeLayered8 is the int8/int16 counterpart of decodeLayered.
+func (d *Decoder8) decodeLayered8(info []byte, maxIter int) Result {
+	c := d.code
+	for v, lv := range d.l {
+		if lv < 0 {
+			d.hard[v] = 1
+		} else {
+			d.hard[v] = 0
+		}
+	}
+	d.syn.init(c, d.hard)
+	res := Result{}
+	for it := 1; it <= maxIter; it++ {
+		res.Iterations = it
+		d.iterateLayered8()
+		if d.syn.nUnsat == 0 {
+			res.OK = true
+			break
+		}
+	}
+	copy(info, d.hard[:c.K()])
+	return res
+}
+
+// iterateLayered8 is iterateLanes8 with the fused pass 2.
+func (d *Decoder8) iterateLayered8() {
+	c := d.code
+	z := c.Z
+	off := int16(d.Offset)
+	for i := range c.rows {
+		eo := d.eOff[i]
+		deg := d.eOff[i+1] - eo
+		ro := d.rowOff[i]
+		min1 := d.laneMin1[:z]
+		min2 := d.laneMin2[:z]
+		idx := d.laneIdx[:z]
+		sgn := d.laneSgn[:z]
+		for l := range min1 {
+			min1[l] = 32767
+			min2[l] = 32767
+			idx[l] = -1
+		}
+		clear(sgn)
+		for e := 0; e < deg; e++ {
+			base := d.edgeBase[eo+e]
+			s := d.edgeShf[eo+e]
+			qe := d.laneQ[e*z : (e+1)*z]
+			re := d.r[ro+e*z : ro+(e+1)*z]
+			lb := d.l[base : base+z]
+			n := z - s
+			laneReduce8(qe[:n], re[:n], lb[s:], sgn[:n], min1[:n], min2[:n], idx[:n], int16(e))
+			laneReduce8(qe[n:], re[n:], lb[:s], sgn[n:], min1[n:], min2[n:], idx[n:], int16(e))
+		}
+		for l, m := range min1 {
+			m -= off
+			if m < 0 {
+				m = 0
+			}
+			if m > 127 {
+				m = 127
+			}
+			min1[l] = m
+			m2 := min2[l] - off
+			if m2 < 0 {
+				m2 = 0
+			}
+			if m2 > 127 {
+				m2 = 127
+			}
+			min2[l] = m2
+		}
+		for e := 0; e < deg; e++ {
+			base := d.edgeBase[eo+e]
+			s := d.edgeShf[eo+e]
+			col := base / z
+			qe := d.laneQ[e*z : (e+1)*z]
+			re := d.r[ro+e*z : ro+(e+1)*z]
+			lb := d.l[base : base+z]
+			hb := d.hard[base : base+z]
+			n := z - s
+			d.laneUpdateSyn8(qe[:n], re[:n], lb[s:], hb[s:], sgn[:n], min1[:n], min2[:n], idx[:n], int16(e), col, s)
+			d.laneUpdateSyn8(qe[n:], re[n:], lb[:s], hb[:s], sgn[n:], min1[n:], min2[n:], idx[n:], int16(e), col, 0)
+		}
+	}
+}
+
+// laneUpdateSyn8 is laneUpdate8 plus fused syndrome maintenance.
+func (d *Decoder8) laneUpdateSyn8(q []int16, r []int8, dst []int16, hard []byte, sgn []uint16, m1, m2, idx []int16, e int16, col, j0 int) {
+	if len(q) == 0 {
+		return
+	}
+	r = r[:len(q)]
+	dst = dst[:len(q)]
+	hard = hard[:len(q)]
+	sgn = sgn[:len(q)]
+	m1 = m1[:len(q)]
+	m2 = m2[:len(q)]
+	idx = idx[:len(q)]
+	for l := range q {
+		v := q[l]
+		mag := m1[l]
+		if idx[l] == e {
+			mag = m2[l]
+		}
+		neg := -int16(sgn[l] ^ (uint16(v) >> 15)) // 0 or −1
+		nr := (mag ^ neg) - neg
+		r[l] = int8(nr)
+		x := sat16(int32(v) + int32(nr))
+		dst[l] = x
+		nb := byte(0)
+		if x < 0 {
+			nb = 1
+		}
+		if nb != hard[l] {
+			hard[l] = nb
+			d.syn.toggle(col, j0+l)
+		}
+	}
+}

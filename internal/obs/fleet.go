@@ -19,21 +19,25 @@ type CellSnap struct {
 // cannot be merged from per-cell percentiles — FleetSnapshot.Latency
 // carries them from the fleet's own merged histogram instead.
 type FleetTotals struct {
-	Frames         int64   `json:"frames"`
-	Dropped        int64   `json:"dropped"`
-	DeadlineMiss   int64   `json:"deadline_miss"`
-	MeanMS         float64 `json:"mean_ms"`
-	MaxMS          float64 `json:"max_ms"`
-	ZFCacheHits    int64   `json:"zf_cache_hits"`
-	ZFCacheMisses  int64   `json:"zf_cache_misses"`
-	ZFCacheHitRate float64 `json:"zf_cache_hit_rate"`
-	SeqGaps        int64   `json:"seq_gaps"`
-	SeqLate        int64   `json:"seq_late"`
-	FECRecovered   int64   `json:"fec_recovered"`
-	RxDrops        int64   `json:"rx_drops"`
-	RxPkts         int64   `json:"rx_pkts"`
-	TxPkts         int64   `json:"tx_pkts"`
-	TxDrops        int64   `json:"tx_drops"`
+	Frames           int64   `json:"frames"`
+	Dropped          int64   `json:"dropped"`
+	DeadlineMiss     int64   `json:"deadline_miss"`
+	MeanMS           float64 `json:"mean_ms"`
+	MaxMS            float64 `json:"max_ms"`
+	ZFCacheHits      int64   `json:"zf_cache_hits"`
+	ZFCacheMisses    int64   `json:"zf_cache_misses"`
+	ZFCacheHitRate   float64 `json:"zf_cache_hit_rate"`
+	DecodeBlocks     int64   `json:"decode_blocks"`
+	DecodeIters      int64   `json:"decode_iters"`
+	DecodeMeanIters  float64 `json:"decode_mean_iters"`
+	DecodeEarlyExits int64   `json:"decode_early_exits"`
+	SeqGaps          int64   `json:"seq_gaps"`
+	SeqLate          int64   `json:"seq_late"`
+	FECRecovered     int64   `json:"fec_recovered"`
+	RxDrops          int64   `json:"rx_drops"`
+	RxPkts           int64   `json:"rx_pkts"`
+	TxPkts           int64   `json:"tx_pkts"`
+	TxDrops          int64   `json:"tx_drops"`
 	// Incidents sums every cell's flight-recorder captures (plus the
 	// fleet's own shed incidents, added by the caller).
 	Incidents int64 `json:"incidents"`
@@ -80,6 +84,9 @@ func AggregateSnapshots(cells []CellSnap) FleetSnapshot {
 		}
 		t.ZFCacheHits += s.Arena.ZFCacheHits
 		t.ZFCacheMisses += s.Arena.ZFCacheMisses
+		t.DecodeBlocks += s.Decode.Blocks
+		t.DecodeIters += s.Decode.Iters
+		t.DecodeEarlyExits += s.Decode.EarlyExits
 		t.SeqGaps += s.Fronthaul.SeqGaps
 		t.SeqLate += s.Fronthaul.SeqLate
 		t.FECRecovered += s.Fronthaul.FECRecovered
@@ -97,6 +104,9 @@ func AggregateSnapshots(cells []CellSnap) FleetSnapshot {
 	}
 	if n := t.ZFCacheHits + t.ZFCacheMisses; n > 0 {
 		t.ZFCacheHitRate = float64(t.ZFCacheHits) / float64(n)
+	}
+	if t.DecodeBlocks > 0 {
+		t.DecodeMeanIters = float64(t.DecodeIters) / float64(t.DecodeBlocks)
 	}
 	var frames int64
 	for i := range cells {

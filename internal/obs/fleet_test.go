@@ -17,6 +17,7 @@ func TestAggregateSnapshots(t *testing.T) {
 				Latency:      LatencySnap{Count: frames, MeanMS: meanMS, MaxMS: maxMS},
 				Arena:        ArenaSnap{ZFCacheHits: 8, ZFCacheMisses: 2},
 				Fronthaul:    FronthaulSnap{SeqGaps: 3, FECRecovered: 1},
+				Decode:       DecodeSnap{Blocks: 50, Iters: 100, EarlyExits: 40},
 				Tasks: map[string]TaskSnap{
 					"ZF": {Count: 10, TotalMS: 5},
 				},
@@ -48,6 +49,12 @@ func TestAggregateSnapshots(t *testing.T) {
 	}
 	if fs.Totals.SeqGaps != 6 || fs.Totals.FECRecovered != 2 {
 		t.Fatalf("fronthaul totals: %+v", fs.Totals)
+	}
+	if fs.Totals.DecodeBlocks != 100 || fs.Totals.DecodeIters != 200 || fs.Totals.DecodeEarlyExits != 80 {
+		t.Fatalf("decode totals: %+v", fs.Totals)
+	}
+	if math.Abs(fs.Totals.DecodeMeanIters-2.0) > 1e-9 {
+		t.Fatalf("decode mean iters %v", fs.Totals.DecodeMeanIters)
 	}
 	zf := fs.Tasks["ZF"]
 	if zf.Count != 20 || zf.TotalMS != 10 {

@@ -57,6 +57,19 @@ type Metrics struct {
 	SeqLate      atomic.Int64
 	FECRecovered atomic.Int64
 
+	// Decode-iteration accounting (DESIGN §18). DecodeBlocks counts code
+	// blocks decoded, DecodeIters the BP iterations they consumed, and
+	// DecodeEarlyExits the blocks whose fused syndrome check terminated
+	// them before the iteration budget — together they expose
+	// mean-iterations-to-converge and the early-exit rate, the live
+	// signals the layered-schedule tentpole moves. DecodeIterHist streams
+	// the per-block iteration counts for max/percentiles (counts are
+	// small integers, which the histogram's unit buckets hold exactly).
+	DecodeBlocks     atomic.Int64
+	DecodeIters      atomic.Int64
+	DecodeEarlyExits atomic.Int64
+	DecodeIterHist   stats.Hist
+
 	// StageBusy streams each completed frame's per-stage busy time
 	// (DESIGN §17): the live SLO-attribution histograms that answer
 	// "which stage ate the budget" mid-run, unlike the quiescence-only
@@ -80,6 +93,19 @@ func (m *Metrics) ObserveFrame(latencyNS int64) {
 	if b := m.FrameBudgetNS.Load(); b > 0 && latencyNS > b {
 		m.DeadlineMiss.Add(1)
 	}
+}
+
+// ObserveDecode records one decoded code block: the BP iterations it ran
+// and whether it converged before exhausting the iteration budget. Called
+// from the decode workers' hot path, so it is a handful of atomic adds
+// and nothing else (no allocation, no locks).
+func (m *Metrics) ObserveDecode(iters int, earlyExit bool) {
+	m.DecodeBlocks.Add(1)
+	m.DecodeIters.Add(int64(iters))
+	if earlyExit {
+		m.DecodeEarlyExits.Add(1)
+	}
+	m.DecodeIterHist.AddNS(int64(iters))
 }
 
 // ObserveStages folds one completed frame's attribution record into the
@@ -165,6 +191,19 @@ type FronthaulSnap struct {
 	RxPkts       int64 `json:"rx_pkts"`
 }
 
+// DecodeSnap reports LDPC decode-iteration accounting: how many code
+// blocks were decoded, the mean and max BP iterations they consumed, and
+// the share that converged (fused syndrome satisfied) before exhausting
+// the iteration budget.
+type DecodeSnap struct {
+	Blocks        int64   `json:"blocks"`
+	Iters         int64   `json:"iters"`
+	MeanIters     float64 `json:"mean_iters"`
+	MaxIters      int64   `json:"max_iters"`
+	EarlyExits    int64   `json:"early_exits"`
+	EarlyExitRate float64 `json:"early_exit_rate"`
+}
+
 // GCSnap carries the process-wide garbage-collector totals (from the
 // runtime/metrics sampler in gcstats.go — no stop-the-world, unlike
 // runtime.ReadMemStats) so a dashboard can confirm the zero-allocation
@@ -185,6 +224,7 @@ type Snapshot struct {
 	Tasks         map[string]TaskSnap   `json:"tasks"`
 	Arena         ArenaSnap             `json:"arena"`
 	Fronthaul     FronthaulSnap         `json:"fronthaul"`
+	Decode        DecodeSnap            `json:"decode"`
 	GC            GCSnap                `json:"gc"`
 	// SLO is the live per-stage budget attribution (DESIGN §17),
 	// present once at least one frame has completed with the recorder on.
@@ -247,12 +287,28 @@ func (m *Metrics) Snap() Snapshot {
 		SeqLate:      m.SeqLate.Load(),
 		FECRecovered: m.FECRecovered.Load(),
 	}
+	s.Decode = m.DecodeSnap()
 	s.SLO = m.SLORows()
 	s.Incidents = m.Incidents.Load()
 	if t := m.HighWaterReset.Load(); t > 0 {
 		s.QueueMaxResetUnixMS = t / 1e6
 	}
 	s.GC = readGC()
+	return s
+}
+
+// DecodeSnap summarizes the decode-iteration counters.
+func (m *Metrics) DecodeSnap() DecodeSnap {
+	s := DecodeSnap{
+		Blocks:     m.DecodeBlocks.Load(),
+		Iters:      m.DecodeIters.Load(),
+		EarlyExits: m.DecodeEarlyExits.Load(),
+		MaxIters:   int64(m.DecodeIterHist.Max()),
+	}
+	if s.Blocks > 0 {
+		s.MeanIters = float64(s.Iters) / float64(s.Blocks)
+		s.EarlyExitRate = float64(s.EarlyExits) / float64(s.Blocks)
+	}
 	return s
 }
 

@@ -196,6 +196,26 @@ func TestMetricsSnapshot(t *testing.T) {
 	}
 }
 
+func TestObserveDecode(t *testing.T) {
+	var m Metrics
+	m.ObserveDecode(1, true)
+	m.ObserveDecode(3, true)
+	m.ObserveDecode(8, false) // exhausted the budget
+	s := m.DecodeSnap()
+	if s.Blocks != 3 || s.Iters != 12 || s.EarlyExits != 2 {
+		t.Fatalf("decode counters wrong: %+v", s)
+	}
+	if s.MeanIters != 4 || s.MaxIters != 8 {
+		t.Fatalf("decode summary wrong: %+v", s)
+	}
+	if s.EarlyExitRate < 0.66 || s.EarlyExitRate > 0.67 {
+		t.Fatalf("early-exit rate %v", s.EarlyExitRate)
+	}
+	if m.Snap().Decode != s {
+		t.Fatalf("Snap.Decode differs from DecodeSnap")
+	}
+}
+
 func TestTaskAcc(t *testing.T) {
 	var a TaskAcc
 	for i := 0; i < 100; i++ {

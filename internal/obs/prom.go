@@ -205,6 +205,13 @@ func collectSnapshot(ps *promSet, s *Snapshot, base []promLabel) {
 	add("agora_zf_cache_misses_total", "counter", "ZF coherence-cache misses.", float64(s.Arena.ZFCacheMisses))
 	add("agora_zf_cache_hit_rate", "gauge", "Lifetime ZF cache hit fraction.", s.Arena.ZFCacheHitRate)
 
+	add("agora_decode_blocks_total", "counter", "LDPC code blocks decoded.", float64(s.Decode.Blocks))
+	add("agora_decode_iterations_total", "counter", "BP iterations consumed by decoded blocks.", float64(s.Decode.Iters))
+	add("agora_decode_early_exits_total", "counter", "Blocks whose fused syndrome check converged before the iteration budget.", float64(s.Decode.EarlyExits))
+	add("agora_decode_iterations_mean", "gauge", "Mean BP iterations per decoded block.", s.Decode.MeanIters)
+	add("agora_decode_iterations_max", "gauge", "Largest per-block iteration count observed.", float64(s.Decode.MaxIters))
+	add("agora_decode_early_exit_rate", "gauge", "Fraction of blocks that converged before the iteration budget.", s.Decode.EarlyExitRate)
+
 	add("agora_seq_gaps_total", "counter", "Missing fronthaul sequence numbers.", float64(s.Fronthaul.SeqGaps))
 	add("agora_seq_late_total", "counter", "Late or duplicate fronthaul packets.", float64(s.Fronthaul.SeqLate))
 	add("agora_fec_recovered_total", "counter", "Payloads rebuilt from Reed-Solomon parity.", float64(s.Fronthaul.FECRecovered))

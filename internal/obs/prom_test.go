@@ -22,6 +22,7 @@ func testSnapshot() Snapshot {
 		},
 		Arena:     ArenaSnap{FreeStates: 4, ZFCacheHits: 9, ZFCacheMisses: 1, ZFCacheHitRate: 0.9},
 		Fronthaul: FronthaulSnap{SeqGaps: 5, SeqLate: 1, FECRecovered: 4, RxPkts: 1000},
+		Decode:    DecodeSnap{Blocks: 100, Iters: 250, MeanIters: 2.5, MaxIters: 8, EarlyExits: 95, EarlyExitRate: 0.95},
 		GC:        GCSnap{NumGC: 2, PauseTotalMS: 0.1},
 		SLO: []StageSLO{
 			{Stage: "Decode", Frames: 42, MeanBusyUS: 200, P50BusyUS: 190, P99BusyUS: 260, MaxBusyUS: 300, MeanShare: 0.2},
@@ -106,6 +107,10 @@ func TestPromSnapshotFormat(t *testing.T) {
 		`agora_tasks_total{task="Decode"} 100` + "\n",
 		`agora_stage_busy_seconds{stage="Decode",quantile="0.5"} 0.00019` + "\n",
 		`agora_stage_budget_share{stage="Decode"} 0.2` + "\n",
+		"agora_decode_blocks_total 100\n",
+		"agora_decode_iterations_total 250\n",
+		"agora_decode_iterations_mean 2.5\n",
+		"agora_decode_early_exit_rate 0.95\n",
 		"agora_seq_gaps_total 5\n",
 		"agora_gc_cycles_total 2\n",
 		"agora_queue_max_reset_timestamp_seconds 1.7e+09\n",
